@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench bench-smoke experiments report clean-cache loc
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+test-output:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_BENCH_SCALE=smoke pytest benchmarks/ --benchmark-only
+
+bench-output:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+experiments:
+	repro-experiments all --scale default --out results/
+
+report:
+	python -m repro.experiments.report default EXPERIMENTS.md
+
+clean-cache:
+	rm -rf .cache
+
+loc:
+	find src tests benchmarks examples -name "*.py" | xargs wc -l | tail -1

@@ -1,0 +1,1 @@
+"""Benchmark harness package (one target per paper table/figure)."""

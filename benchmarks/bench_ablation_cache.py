@@ -1,0 +1,77 @@
+"""Ablation: the timing model's L2 capacity correction (DESIGN.md §6).
+
+Two checks:
+
+1. Simulated time with vs without the capacity correction (the correction
+   can only add DRAM traffic, never remove it).
+2. The analytic compulsory + capacity model against an *exact* LRU replay
+   of the kernel's real recorded address trace, at both an L2-sized cache
+   and a deliberately undersized one (the capacity regime).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.forest.tree import random_tree
+from repro.gpusim import analytic_vs_exact
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.timing import TimingModel
+from repro.kernels import GPUIndependentKernel
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+from repro.utils.tables import format_table
+
+
+def _workload():
+    rng = np.random.default_rng(31)
+    trees = [random_tree(rng, 16, 14, leaf_prob=0.15, min_nodes=3) for _ in range(10)]
+    X = rng.standard_normal((4096, 16)).astype(np.float32)
+    return HierarchicalForest.from_trees(trees, LayoutParams(6)), X
+
+
+def _run():
+    hier, X = _workload()
+    kernel = GPUIndependentKernel(
+        timing_model=TimingModel(TITAN_XP, l2_capacity_correction=True),
+        record_trace=True,
+    )
+    with_corr = kernel.run(hier, X)
+    without = GPUIndependentKernel(
+        timing_model=TimingModel(TITAN_XP, l2_capacity_correction=False)
+    ).run(hier, X)
+
+    footprint = with_corr.metrics.footprint_bytes
+    # Exact replay of the real trace: L2-sized and quarter-footprint caches.
+    l2_cmp = analytic_vs_exact(kernel.trace, footprint, TITAN_XP.l2_bytes)
+    small = max(128 * 16, footprint // 4) // (128 * 16) * (128 * 16)
+    small_cmp = analytic_vs_exact(kernel.trace, footprint, small)
+    return {
+        "with_correction_s": with_corr.seconds,
+        "without_correction_s": without.seconds,
+        "footprint_mb": footprint / 1e6,
+        "l2_exact_miss_rate": l2_cmp["exact_miss_rate"],
+        "l2_analytic_miss_rate": l2_cmp["analytic_miss_rate"],
+        "small_cache_exact_miss_rate": small_cmp["exact_miss_rate"],
+        "small_cache_analytic_miss_rate": small_cmp["analytic_miss_rate"],
+        "small_cache_ratio": small_cmp["ratio"],
+    }
+
+
+def test_ablation_cache_model(benchmark):
+    out = run_once(benchmark, _run)
+    print(
+        "\n"
+        + format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in out.items()],
+            title="Ablation: L2 capacity correction vs exact LRU replay",
+            float_digits=6,
+        )
+    )
+    # The correction can only slow the kernel down (more DRAM traffic).
+    assert out["with_correction_s"] >= out["without_correction_s"]
+    # Analytic tracks the exact replay at L2 size...
+    assert abs(
+        out["l2_analytic_miss_rate"] - out["l2_exact_miss_rate"]
+    ) < 0.05
+    # ...and stays within 2x in the capacity regime.
+    assert 0.5 < out["small_cache_ratio"] < 2.0

@@ -1,0 +1,46 @@
+"""Ablation: algebraic FPGA contention model vs discrete-event simulation.
+
+The FPGA analogue of the cache-model ablation: the closed-form
+PipelineTimer is cross-checked against an event-driven simulation of CUs
+queueing on their SLR's memory channel, across the paper's operating
+points (Table 3's II/access-count combinations).
+"""
+
+from benchmarks.conftest import run_once
+from repro.fpgasim.device import ALVEO_U250
+from repro.fpgasim.eventsim import compare_with_timer
+from repro.utils.tables import format_table
+
+POINTS = [
+    ("csr 1CU", 1, 4, 292),
+    ("independent 1CU", 1, 1, 76),
+    ("independent 12CU", 12, 1, 76),
+    ("collaborative-ish 12CU", 12, 2, 3),
+    ("onchip 1CU", 1, 0, 3),
+]
+
+
+def _run():
+    rows = []
+    for label, cus, acc, ii in POINTS:
+        out = compare_with_timer(ALVEO_U250, cus, 3000, ii, acc)
+        rows.append(
+            [label, out["event_cycles"], out["algebraic_cycles"],
+             out["ratio"], f"{out['event_channel_utilisation']:.2f}"]
+        )
+    return rows
+
+
+def test_ablation_eventsim(benchmark):
+    rows = run_once(benchmark, _run)
+    print(
+        "\n"
+        + format_table(
+            ["operating point", "event cycles", "algebraic cycles",
+             "ratio", "channel util"],
+            rows,
+            title="Ablation: FPGA contention algebra vs event simulation",
+        )
+    )
+    for row in rows:
+        assert 0.95 < row[3] < 1.4, row

@@ -1,0 +1,74 @@
+"""Ablation: the paper's negative results (§3.2.1 and §5).
+
+1. K-Means tree clustering by feature profile: the paper found "no
+   significant performance benefit" — reordering trees must move the
+   independent kernel's time by only a few percent.
+2. Block-per-tree scheduling: the paper measured a "significant slowdown"
+   (2-10x) versus the independent variant.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.extensions import (
+    GPUBlockPerTreeKernel,
+    GPUGreedyKernel,
+    cluster_trees_by_features,
+)
+from repro.forest.tree import random_tree
+from repro.kernels import GPUIndependentKernel
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+from repro.utils.tables import format_table
+
+
+def _run():
+    rng = np.random.default_rng(51)
+    trees = [random_tree(rng, 18, 13, leaf_prob=0.15, min_nodes=3) for _ in range(16)]
+    X = rng.standard_normal((6144, 18)).astype(np.float32)
+
+    baseline = GPUIndependentKernel().run(
+        HierarchicalForest.from_trees(trees, LayoutParams(6)), X
+    )
+    order = cluster_trees_by_features(trees, 18, k=4, seed=0)
+    clustered = GPUIndependentKernel().run(
+        HierarchicalForest.from_trees([trees[i] for i in order], LayoutParams(6)), X
+    )
+    hier = HierarchicalForest.from_trees(trees, LayoutParams(6))
+    block_per_tree = GPUBlockPerTreeKernel().run(hier, X)
+    greedy = GPUGreedyKernel().run(hier, X)
+    assert np.array_equal(baseline.predictions, clustered.predictions)
+    assert np.array_equal(baseline.predictions, block_per_tree.predictions)
+    assert np.array_equal(baseline.predictions, greedy.predictions)
+    return {
+        "independent_s": baseline.seconds,
+        "kmeans_clustered_s": clustered.seconds,
+        "clustering_effect": clustered.seconds / baseline.seconds,
+        "block_per_tree_s": block_per_tree.seconds,
+        "block_per_tree_slowdown": block_per_tree.seconds / baseline.seconds,
+        "greedy_s": greedy.seconds,
+        "greedy_slowdown": greedy.seconds / baseline.seconds,
+        "greedy_warp_eff_gain": (
+            greedy.metrics.warp_efficiency - baseline.metrics.warp_efficiency
+        ),
+    }
+
+
+def test_ablation_extensions(benchmark):
+    out = run_once(benchmark, _run)
+    print(
+        "\n"
+        + format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in out.items()],
+            title="Ablation: paper §3.2.1 negative results",
+            float_digits=6,
+        )
+    )
+    # 1) Clustering: no significant effect (within 10%).
+    assert 0.9 < out["clustering_effect"] < 1.1
+    # 2) Block-per-tree: significant slowdown (paper: 2-10x).
+    assert out["block_per_tree_slowdown"] > 1.5
+    # 3) Greedy refill (§5): divergence improves but the variant is not
+    # faster overall — the paper's reason for declining it.
+    assert out["greedy_warp_eff_gain"] > 0.1
+    assert out["greedy_slowdown"] >= 0.95

@@ -1,0 +1,64 @@
+"""Ablation: Goldfarb-style query presorting (paper §5, declined).
+
+The paper declines presorting, arguing the cost "cannot be amortized" for
+high-dimensional ML data.  This bench measures both sides in the model: the
+kernel-time gain from warp-coherent queries and the estimated device cost
+of the sort itself.  In this model the net effect at reproduction scale is
+a small gain — a documented deviation from the paper's qualitative
+judgement (their concern includes non-numeric features and per-batch
+re-sorting, which the model does not price).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.baselines import reference_predict
+from repro.extensions import sort_queries, sorting_cost_seconds
+from repro.forest.tree import random_tree
+from repro.kernels import GPUIndependentKernel
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+from repro.utils.tables import format_table
+
+
+def _run():
+    rng = np.random.default_rng(61)
+    trees = [random_tree(rng, 16, 14, leaf_prob=0.12, min_nodes=3) for _ in range(12)]
+    X = rng.standard_normal((8192, 16)).astype(np.float32)
+    hier = HierarchicalForest.from_trees(trees, LayoutParams(6))
+
+    base = GPUIndependentKernel().run(hier, X)
+    Xs, order = sort_queries(trees, X, depth=8)
+    srt = GPUIndependentKernel().run(hier, Xs)
+    inv = np.argsort(order)
+    assert np.array_equal(srt.predictions[inv], base.predictions)
+    assert np.array_equal(base.predictions, reference_predict(trees, X))
+
+    sort_cost = sorting_cost_seconds(X.shape[0], X.shape[1])
+    return {
+        "unsorted_s": base.seconds,
+        "sorted_kernel_s": srt.seconds,
+        "sort_cost_s": sort_cost,
+        "kernel_gain": base.seconds / srt.seconds,
+        "net_vs_baseline": (srt.seconds + sort_cost) / base.seconds,
+        "branch_eff_unsorted": base.metrics.branch_efficiency,
+        "branch_eff_sorted": srt.metrics.branch_efficiency,
+    }
+
+
+def test_ablation_query_sorting(benchmark):
+    out = run_once(benchmark, _run)
+    print(
+        "\n"
+        + format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in out.items()],
+            title="Ablation: query presorting (Goldfarb et al., paper §5)",
+            float_digits=6,
+        )
+    )
+    # Sorting improves warp coherence (never hurts the kernel itself)...
+    assert out["kernel_gain"] >= 1.0
+    assert out["branch_eff_sorted"] >= out["branch_eff_unsorted"]
+    # ...and its gain is modest (<= 1.5x), consistent with the paper's
+    # decision that it is not where the headroom is.
+    assert out["kernel_gain"] < 1.5

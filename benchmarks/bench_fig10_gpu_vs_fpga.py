@@ -1,0 +1,11 @@
+"""Fig. 10 bench: GPU vs FPGA on Susy."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_gpu_vs_fpga as exp
+
+
+def test_fig10_gpu_vs_fpga(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    for r in rows:
+        assert r["gpu_advantage"] > 10  # paper: orders of magnitude

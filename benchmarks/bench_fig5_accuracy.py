@@ -1,0 +1,21 @@
+"""Fig. 5 bench: accuracy heat-maps (depth x trees) per dataset."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_accuracy as exp
+
+
+def test_fig5_accuracy(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    # Shape: for every dataset, peak accuracy clearly above the depth-5
+    # accuracy at the largest ensemble (the paper's motivation for depth).
+    for name in {r["dataset"] for r in rows}:
+        sub = [r for r in rows if r["dataset"] == name]
+        max_trees = max(r["n_trees"] for r in sub)
+        shallow = min(
+            r["accuracy"]
+            for r in sub
+            if r["n_trees"] == max_trees and r["depth"] == min(x["depth"] for x in sub)
+        )
+        peak = max(r["accuracy"] for r in sub)
+        assert peak >= shallow

@@ -1,0 +1,17 @@
+"""Fig. 6 bench: hierarchical/CSR memory-footprint ratios."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_memory as exp
+
+
+def test_fig6_memory(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    by_sd = {}
+    for r in rows:
+        by_sd.setdefault(r["sd"], []).append(r["ratio"])
+    sds = sorted(by_sd)
+    # Paper: footprint ratio grows with subtree depth; the largest SD is
+    # clearly above the smallest.
+    means = [sum(by_sd[sd]) / len(by_sd[sd]) for sd in sds]
+    assert means[-1] > means[0]

@@ -1,0 +1,18 @@
+"""Fig. 7 bench: GPU speedups over CSR (independent/hybrid/cuML)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_gpu_speedup as exp
+
+
+def test_fig7_gpu_speedup(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    for r in rows:
+        if r["variant"] != "csr":
+            assert r["speedup"] > 1.0, r
+    # Hybrid beats independent at every (dataset, depth, SD).
+    key = lambda r: (r["dataset"], r["depth"], r["sd"])
+    ind = {key(r): r["speedup"] for r in rows if r["variant"] == "independent"}
+    hyb = {key(r): r["speedup"] for r in rows if r["variant"] == "hybrid"}
+    for k in ind:
+        assert hyb[k] > ind[k]

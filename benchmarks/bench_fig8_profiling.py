@@ -1,0 +1,12 @@
+"""Fig. 8 bench: global load requests + branch efficiency (Susy)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_profiling as exp
+
+
+def test_fig8_profiling(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    ratios = [r["gld_ratio"] for r in sorted(rows, key=lambda r: r["sd"])]
+    assert all(r < 1.0 for r in ratios)
+    assert ratios[-1] < ratios[0]  # shrinks as SD grows

@@ -1,0 +1,17 @@
+"""Fig. 9 bench: FPGA runtime vs tree depth and subtree depth."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_fpga_runtime as exp
+
+
+def test_fig9_fpga_runtime(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    # Deeper subtrees lower independent runtimes (fewer crossings).
+    for name in {r["dataset"] for r in rows}:
+        ind = sorted(
+            (r["sd"], r["seconds"])
+            for r in rows
+            if r["dataset"] == name and r["variant"] == "independent"
+        )
+        assert ind[-1][1] <= ind[0][1] * 1.05

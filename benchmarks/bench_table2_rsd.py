@@ -1,0 +1,16 @@
+"""Table 2 bench: root-subtree-depth sweep (GPU hybrid + FPGA independent)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_rsd as exp
+
+
+def test_table2_rsd(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    for r in rows:
+        # GPU hybrid beats CSR at every RSD; FPGA seconds are ~flat in RSD
+        # (within 25%), matching the paper's FX columns.
+        for rsd in exp.RSD_VALUES:
+            assert r[f"G{rsd}"] > 1.0
+        fs = [r[f"F{rsd}"] for rsd in exp.RSD_VALUES]
+        assert max(fs) / min(fs) < 1.25

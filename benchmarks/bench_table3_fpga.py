@@ -1,0 +1,17 @@
+"""Table 3 bench: FPGA variant comparison on the synthetic workload."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_fpga as exp
+
+
+def test_table3_fpga(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    by = {r["version"]: r for r in rows}
+    assert by["hybrid"]["vs_csr"] > by["independent"]["vs_csr"] > 1.0
+    assert by["collaborative"]["vs_csr"] < 0.5
+    assert (
+        by["independent-4S12C"]["vs_csr"]
+        > by["hybrid-split-4S10C"]["vs_csr"]
+        > by["hybrid-4S12C"]["vs_csr"]
+    )

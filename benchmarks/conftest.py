@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (DESIGN.md §4)
+at the ``default`` experiment scale and prints the same rows/series the
+paper reports.  Set ``REPRO_BENCH_SCALE=smoke`` for a fast pass or ``full``
+for the complete grids.
+
+Trained forests are cached under ``.cache/forests`` (see
+``repro.experiments.common``), so the first run pays the training cost and
+subsequent runs are simulator-bound.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

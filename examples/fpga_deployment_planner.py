@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Scenario: sizing an Alveo U250 deployment for high-throughput inference.
+
+An engineering team wants to serve RF classification from an FPGA card
+(e.g. in a network appliance where a GPU's power budget is unavailable).
+This example walks the paper's §4.4 decision process on a synthetic
+workload: pick a code variant, then pick a replication layout.
+
+It answers, with the library's pipeline model:
+
+1. Which single-CU variant is fastest?  (hybrid — lowest combined II)
+2. Which variant *scales* under CU replication?  (independent — its only
+   external traffic is one random read per node visit)
+3. What does the paper's split-hybrid configuration buy back?
+
+Run:  python examples/fpga_deployment_planner.py
+"""
+
+from repro import HierarchicalForestClassifier, LayoutParams, RunConfig
+from repro.datasets import make_synthetic_forest
+from repro.fpgasim.replication import Replication
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Building the paper's synthetic FPGA workload (d=15, s=10)...")
+    forest, X = make_synthetic_forest(
+        n_trees=24, depth=15, n_queries=30_000, leaf_prob=0.05, seed=7
+    )
+    clf = HierarchicalForestClassifier.from_forest(forest)
+    layout = LayoutParams(10)
+
+    def run(variant, repl=Replication()):
+        cfg = RunConfig(
+            platform="fpga", variant=variant, layout=layout, replication=repl
+        )
+        return clf.classify(X, cfg)
+
+    print("\nStep 1: single compute unit — which variant wins?")
+    singles = {}
+    rows = []
+    for variant in ("csr", "independent", "collaborative", "hybrid"):
+        res = run(variant)
+        singles[variant] = res
+        rows.append(
+            [
+                variant,
+                res.seconds,
+                f"{res.details['stall_pct']:.1%}",
+                singles["csr"].seconds / res.seconds,
+                res.details["ii"],
+            ]
+        )
+    print(format_table(["variant", "sim s", "stall", "vs CSR", "II"], rows))
+
+    print("\nStep 2: replicate to 4 SLRs x 12 CUs — which variant scales?")
+    rows = []
+    for variant in ("independent", "hybrid"):
+        res = run(variant, Replication(4, 12))
+        rows.append(
+            [
+                f"{variant} 4S12C",
+                res.seconds,
+                f"{res.details['stall_pct']:.1%}",
+                singles["csr"].seconds / res.seconds,
+                singles[variant].seconds / res.seconds,
+            ]
+        )
+    split = run(
+        "hybrid", Replication(4, 10, freq_mhz=245.0, split_stage1=True)
+    )
+    rows.append(
+        [
+            "hybrid split 4S10C @245MHz",
+            split.seconds,
+            f"{split.details['stall_pct']:.1%}",
+            singles["csr"].seconds / split.seconds,
+            singles["hybrid"].seconds / split.seconds,
+        ]
+    )
+    print(
+        format_table(
+            ["configuration", "sim s", "stall", "vs CSR", "scaling vs 1 CU"],
+            rows,
+        )
+    )
+
+    print(
+        "\nConclusion (matches the paper's Table 3): deploy the *independent*\n"
+        "variant when replicating across the full card — the hybrid's\n"
+        "stage-1 query streams collide on each SLR's memory channel, and\n"
+        "even the split configuration only partially recovers.  The hybrid\n"
+        "wins only for a single-CU (area-constrained) deployment."
+    )
+
+
+if __name__ == "__main__":
+    main()

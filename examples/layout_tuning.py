@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Scenario: tuning SD/RSD for a given forest (the paper's §3.1 tradeoff).
+
+The maximum subtree depth ``SD`` trades memory (padding subtrees to complete
+binary trees) against traversal speed (fewer indirect subtree crossings);
+the root subtree depth ``RSD`` trades shared-memory footprint against
+coalesced/shared accesses for the hot top-of-tree.  This example sweeps both
+for one trained forest and prints the full tradeoff surface — the workflow a
+user of the paper's system would run before deploying.
+
+Run:  python examples/layout_tuning.py
+"""
+
+from repro import (
+    CSRForest,
+    HierarchicalForest,
+    HierarchicalForestClassifier,
+    LayoutParams,
+    RunConfig,
+    load_dataset,
+)
+from repro.layout.footprint import footprint_ratio
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Training a Higgs-profile forest...")
+    ds = load_dataset("higgs", rows=10_000)
+    clf = HierarchicalForestClassifier(n_estimators=12, max_depth=14, seed=2)
+    clf.fit(ds.X_train, ds.y_train)
+    X = ds.X_test
+
+    csr_layout = CSRForest.from_trees(clf.trees)
+    base = clf.classify(X, RunConfig(variant="csr"))
+    print(f"CSR baseline: {base.seconds * 1e3:.3f} simulated ms\n")
+
+    print("SD sweep (memory ratio vs hybrid speedup):")
+    rows = []
+    for sd in (2, 4, 6, 8):
+        hier = HierarchicalForest.from_trees(clf.trees, LayoutParams(sd))
+        res = clf.classify(
+            X, RunConfig(variant="hybrid", layout=LayoutParams(sd))
+        )
+        rows.append(
+            [
+                sd,
+                footprint_ratio(hier, csr_layout),
+                f"{hier.padding_fraction:.1%}",
+                hier.n_subtrees,
+                res.speedup_over(base),
+            ]
+        )
+    print(
+        format_table(
+            ["SD", "memory vs CSR", "padding", "subtrees", "hybrid speedup"],
+            rows,
+            title="Space-time tradeoff of the maximum subtree depth (Fig. 6 + Fig. 7)",
+        )
+    )
+
+    print("\nRSD sweep at the best SD (shared-memory budget: 48 KB/SM):")
+    best_sd = max(rows, key=lambda r: r[-1])[0]
+    rsd_rows = []
+    for rsd in (best_sd, best_sd + 2, best_sd + 4):
+        layout = LayoutParams(best_sd, rsd)
+        hier = HierarchicalForest.from_trees(clf.trees, layout)
+        biggest_root = max(
+            hier.subtree_size(int(s)) for s in hier.tree_root_subtree
+        )
+        shared_kb = biggest_root * 8 / 1024
+        if shared_kb * 1024 > 48 * 1024:
+            rsd_rows.append([rsd, f"{shared_kb:.1f} KB", "exceeds 48 KB/SM"])
+            continue
+        res = clf.classify(X, RunConfig(variant="hybrid", layout=layout))
+        rsd_rows.append([rsd, f"{shared_kb:.1f} KB", res.speedup_over(base)])
+    print(
+        format_table(
+            ["RSD", "root subtree shared mem", "hybrid speedup"],
+            rsd_rows,
+            title="Root subtree depth tradeoff (Table 2)",
+        )
+    )
+    print(
+        "\nPick the SD whose speedup has saturated and whose memory ratio\n"
+        "you can afford; then grow RSD until the shared-memory budget or\n"
+        "the padding of sparse tree tops stops paying off."
+    )
+
+
+if __name__ == "__main__":
+    main()

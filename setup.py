@@ -1,0 +1,8 @@
+"""Shim so `pip install -e . --no-build-isolation` works without the
+`wheel` package (offline environment): pip falls back to `setup.py develop`,
+which does not need bdist_wheel. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

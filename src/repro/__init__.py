@@ -1,0 +1,67 @@
+"""repro — reproduction of "Accelerating Random Forest Classification on
+GPU and FPGA" (Shah et al., ICPP 2022).
+
+The package implements the paper's hierarchical decision-tree memory layout,
+its four traversal code variants on trace-driven GPU and FPGA performance
+models, a from-scratch random-forest training substrate, calibrated synthetic
+stand-ins for the paper's UCI workloads, and one experiment module per table
+and figure in the paper's evaluation.  See README.md for a tour and
+DESIGN.md for the system inventory.
+
+Quick start::
+
+    from repro import HierarchicalForestClassifier, RunConfig, load_dataset
+
+    ds = load_dataset("susy")
+    clf = HierarchicalForestClassifier(n_estimators=20, max_depth=15, seed=0)
+    clf.fit(ds.X_train, ds.y_train)
+    res = clf.classify(ds.X_test, RunConfig(variant="hybrid"), y_true=ds.y_test)
+    print(f"{res.seconds * 1e3:.2f} simulated ms, accuracy {res.accuracy:.3f}")
+"""
+
+from repro.core import (
+    ComparisonTable,
+    HierarchicalForestClassifier,
+    KernelVariant,
+    Platform,
+    RunConfig,
+    RunResult,
+)
+from repro.datasets import load_dataset, make_forest_classification, make_synthetic_forest
+from repro.forest import (
+    DecisionTree,
+    RandomForestClassifier,
+    load_forest,
+    save_forest,
+    truncate_forest,
+)
+from repro.layout import (
+    CSRForest,
+    HierarchicalForest,
+    LayoutParams,
+    verify_layouts,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HierarchicalForestClassifier",
+    "RunConfig",
+    "RunResult",
+    "ComparisonTable",
+    "KernelVariant",
+    "Platform",
+    "load_dataset",
+    "make_forest_classification",
+    "make_synthetic_forest",
+    "DecisionTree",
+    "RandomForestClassifier",
+    "save_forest",
+    "load_forest",
+    "CSRForest",
+    "HierarchicalForest",
+    "LayoutParams",
+    "truncate_forest",
+    "verify_layouts",
+    "__version__",
+]

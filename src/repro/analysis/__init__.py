@@ -1,0 +1,24 @@
+"""Post-run analysis tools: profiler reports, roofline analysis, sweeps.
+
+These sit on top of :mod:`repro.core` and the kernel result objects:
+
+* :mod:`profiler` — an nvprof-style per-load-site report for one simulated
+  kernel run (the view the paper's Fig. 8 is built from).
+* :mod:`roofline` — decomposes a run's time into the model's roofs
+  (transaction issue, DRAM bytes, L2 bytes, compute, shared) and names the
+  binding one.
+* :mod:`sweeps` — a small declarative parameter-sweep helper used by the
+  examples and handy for custom studies.
+"""
+
+from repro.analysis.profiler import profile_report, site_table
+from repro.analysis.roofline import roofline_report, RooflinePoint
+from repro.analysis.sweeps import sweep
+
+__all__ = [
+    "profile_report",
+    "site_table",
+    "roofline_report",
+    "RooflinePoint",
+    "sweep",
+]

@@ -1,0 +1,92 @@
+"""Roofline decomposition of simulated kernel runs.
+
+The timing model takes the maximum of five subsystem times (transaction
+issue, DRAM bytes, L2 bytes, compute issue, shared bandwidth).  This module
+turns a set of runs into a comparative roofline report: which roof binds
+each variant and how much headroom the others have — useful for reasoning
+about what a further optimisation could buy, exactly the style of argument
+the paper makes when moving from CSR to independent to hybrid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.kernels.base import GPUKernelResult
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position against the model's roofs."""
+
+    name: str
+    seconds: float
+    bound_by: str
+    #: roof name -> (seconds, utilisation of the binding roof).
+    roofs: Dict[str, float]
+
+    @property
+    def headroom(self) -> float:
+        """Binding-roof time over second-highest roof — how 'cliffy' the
+        kernel is (1.0 = two roofs tied; large = one clear bottleneck)."""
+        times = sorted(self.roofs.values(), reverse=True)
+        if len(times) < 2 or times[1] == 0:
+            return float("inf")
+        return times[0] / times[1]
+
+
+def roofline_point(name: str, result: GPUKernelResult) -> RooflinePoint:
+    """Extract the roofline position of one run."""
+    t = result.timing
+    return RooflinePoint(
+        name=name,
+        seconds=t.seconds,
+        bound_by=t.bound_by,
+        roofs={
+            "txn": t.txn_s,
+            "dram": t.dram_s,
+            "l2": t.l2_s,
+            "compute": t.compute_s,
+            "shared": t.shared_s,
+        },
+    )
+
+
+def roofline_report(
+    runs: Sequence[Tuple[str, GPUKernelResult]],
+) -> str:
+    """Comparative roofline table over several named runs."""
+    rows: List[list] = []
+    for name, result in runs:
+        p = roofline_point(name, result)
+        rows.append(
+            [
+                name,
+                p.seconds,
+                p.bound_by,
+                p.roofs["txn"],
+                p.roofs["dram"],
+                p.roofs["l2"],
+                p.roofs["compute"],
+                f"{p.headroom:.2f}x"
+                if p.headroom != float("inf")
+                else "-",
+            ]
+        )
+    return format_table(
+        [
+            "kernel",
+            "seconds",
+            "bound by",
+            "txn roof",
+            "dram roof",
+            "l2 roof",
+            "compute roof",
+            "headroom",
+        ],
+        rows,
+        title="Roofline decomposition",
+        float_digits=6,
+    )

@@ -1,0 +1,73 @@
+"""Declarative parameter sweeps over the classification pipeline.
+
+A tiny helper for studies the experiment modules don't cover: give it a
+fitted classifier, query batch and a grid of :class:`RunConfig` axes and it
+returns tidy rows.  Used by the examples; exposed because users reproducing
+a paper usually want *one more* sweep than the authors ran.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.fpgasim.replication import Replication
+from repro.layout.hierarchical import LayoutParams
+
+
+def sweep(
+    clf: HierarchicalForestClassifier,
+    X: np.ndarray,
+    platforms: Sequence = (Platform.GPU,),
+    variants: Sequence = (KernelVariant.CSR, KernelVariant.HYBRID),
+    subtree_depths: Sequence[int] = (6,),
+    root_subtree_depths: Sequence[Optional[int]] = (None,),
+    replications: Sequence[Replication] = (Replication(),),
+    y_true: Optional[np.ndarray] = None,
+) -> List[Dict]:
+    """Run the cartesian product of the given axes; returns tidy rows.
+
+    Invalid combinations (cuML on FPGA) are skipped silently; layout axes
+    are ignored for layout-free variants (CSR, cuML) so those variants run
+    once per platform/replication rather than once per SD.
+    """
+    rows: List[Dict] = []
+    seen = set()
+    for platform, variant, sd, rsd, repl in itertools.product(
+        platforms, variants, subtree_depths, root_subtree_depths, replications
+    ):
+        platform = Platform(platform)
+        variant = KernelVariant(variant)
+        if platform is Platform.FPGA and variant is KernelVariant.CUML:
+            continue
+        if variant in (KernelVariant.CSR, KernelVariant.CUML):
+            key = (platform, variant, None, None, repl)
+            layout = LayoutParams()
+        else:
+            key = (platform, variant, sd, rsd, repl)
+            layout = LayoutParams(sd, rsd)
+        if key in seen:
+            continue
+        seen.add(key)
+        cfg = RunConfig(
+            platform=platform, variant=variant, layout=layout, replication=repl
+        )
+        res = clf.classify(X, cfg, y_true=y_true)
+        rows.append(
+            {
+                "platform": platform.value,
+                "variant": variant.value,
+                "sd": None if key[2] is None else sd,
+                "rsd": None if key[2] is None else layout.rsd,
+                "replication": repl.label,
+                "seconds": res.seconds,
+                "accuracy": res.accuracy,
+                "label": cfg.label,
+                "details": res.details,
+            }
+        )
+    return rows

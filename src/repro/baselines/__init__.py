@@ -1,0 +1,19 @@
+"""Comparator implementations.
+
+* :mod:`cpu_reference` — plain NumPy forest traversal; the ground truth every
+  simulated kernel's predictions are asserted against.
+* :mod:`cuml_fil` — a Forest-Inference-Library-style GPU baseline (dense
+  per-node records, single indirection, breadth-first storage) running on
+  the same GPU model, standing in for Nvidia cuML's FIL which the paper
+  compares against in Fig. 7 / Table 2.
+"""
+
+from repro.baselines.cpu_reference import reference_predict, reference_votes
+from repro.baselines.cuml_fil import FILForest, CuMLFILKernel
+
+__all__ = [
+    "reference_predict",
+    "reference_votes",
+    "FILForest",
+    "CuMLFILKernel",
+]

@@ -1,0 +1,250 @@
+"""The library's front door: train, lay out, classify, measure.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    from repro import HierarchicalForestClassifier, RunConfig
+
+    clf = HierarchicalForestClassifier(n_estimators=50, max_depth=20)
+    clf.fit(X_train, y_train)
+    result = clf.classify(
+        X_test, RunConfig(platform="gpu", variant="hybrid"),
+        y_true=y_test,
+    )
+    print(result.seconds, result.accuracy)
+
+Layouts are built lazily per :class:`LayoutParams` and cached, so sweeping
+kernels over one forest re-uses the conversion work.  Every simulated run's
+predictions are checked against the CPU reference — a wrong layout or kernel
+cannot silently produce plausible timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.cpu_reference import reference_predict
+from repro.baselines.cuml_fil import CuMLFILKernel, FILForest
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.core.results import RunResult
+from repro.forest.metrics import accuracy_score
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.tree import DecisionTree
+from repro.fpgasim.device import ALVEO_U250, FPGASpec
+from repro.gpusim.device import GPUSpec, TITAN_XP
+from repro.kernels import (
+    FPGACSRKernel,
+    FPGACollaborativeKernel,
+    FPGAHybridKernel,
+    FPGAIndependentKernel,
+    GPUCSRKernel,
+    GPUCollaborativeKernel,
+    GPUHybridKernel,
+    GPUIndependentKernel,
+)
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+_GPU_KERNELS = {
+    KernelVariant.CSR: GPUCSRKernel,
+    KernelVariant.INDEPENDENT: GPUIndependentKernel,
+    KernelVariant.COLLABORATIVE: GPUCollaborativeKernel,
+    KernelVariant.HYBRID: GPUHybridKernel,
+    KernelVariant.CUML: CuMLFILKernel,
+}
+_FPGA_KERNELS = {
+    KernelVariant.CSR: FPGACSRKernel,
+    KernelVariant.INDEPENDENT: FPGAIndependentKernel,
+    KernelVariant.COLLABORATIVE: FPGACollaborativeKernel,
+    KernelVariant.HYBRID: FPGAHybridKernel,
+}
+
+
+class HierarchicalForestClassifier:
+    """Random-forest classification through the paper's full pipeline.
+
+    Parameters are forwarded to
+    :class:`~repro.forest.random_forest.RandomForestClassifier`; an already
+    trained forest (or hand-built trees) can be adopted via
+    :meth:`from_forest` / :meth:`from_trees`.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        gpu: GPUSpec = TITAN_XP,
+        fpga: FPGASpec = ALVEO_U250,
+        verify_against_reference: bool = True,
+        seed=None,
+        **forest_kwargs,
+    ):
+        self.forest = RandomForestClassifier(
+            n_estimators=n_estimators, max_depth=max_depth, seed=seed,
+            **forest_kwargs,
+        )
+        self.gpu = gpu
+        self.fpga = fpga
+        self.verify_against_reference = verify_against_reference
+        self._layout_cache: Dict[Tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Construction / training
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "HierarchicalForestClassifier":
+        """Train the underlying forest; invalidates cached layouts."""
+        self.forest.fit(X, y)
+        self._layout_cache.clear()
+        return self
+
+    @classmethod
+    def from_forest(
+        cls, forest: RandomForestClassifier, **kwargs
+    ) -> "HierarchicalForestClassifier":
+        """Adopt an already fitted :class:`RandomForestClassifier`."""
+        forest._check_fitted()
+        clf = cls(**kwargs)
+        clf.forest = forest
+        return clf
+
+    @classmethod
+    def from_trees(
+        cls, trees: Sequence[DecisionTree], n_features: int, **kwargs
+    ) -> "HierarchicalForestClassifier":
+        """Adopt hand-built trees (e.g. the Table 3 synthetic forest)."""
+        return cls.from_forest(
+            RandomForestClassifier.from_trees(list(trees), n_features), **kwargs
+        )
+
+    @property
+    def trees(self) -> List[DecisionTree]:
+        self.forest._check_fitted()
+        return self.forest.trees_
+
+    # ------------------------------------------------------------------
+    # Layouts
+    # ------------------------------------------------------------------
+    def layout_for(self, config: RunConfig):
+        """Build (or fetch from cache) the layout ``config`` needs."""
+        if config.variant is KernelVariant.CSR:
+            key = ("csr",)
+        elif config.variant is KernelVariant.CUML:
+            key = ("fil",)
+        else:
+            key = ("hier", config.layout.sd, config.layout.rsd)
+        if key not in self._layout_cache:
+            if key[0] == "csr":
+                self._layout_cache[key] = CSRForest.from_trees(self.trees)
+            elif key[0] == "fil":
+                self._layout_cache[key] = FILForest.from_trees(self.trees)
+            else:
+                self._layout_cache[key] = HierarchicalForest.from_trees(
+                    self.trees, config.layout
+                )
+        return self._layout_cache[key]
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        X: np.ndarray,
+        config: RunConfig = RunConfig(),
+        y_true: Optional[np.ndarray] = None,
+        include_transfer: bool = False,
+    ) -> RunResult:
+        """Run one simulated classification and return its result.
+
+        Predictions are verified against the CPU reference unless
+        ``verify_against_reference=False`` (useful only for very large
+        sweeps where the reference pass dominates).
+
+        ``include_transfer=True`` adds host-to-device transfer time (query
+        round trip; the one-time layout upload goes into ``details``) — the
+        paper reports kernel time only, so the default matches the paper.
+        """
+        layout = self.layout_for(config)
+        if config.platform is Platform.GPU:
+            kernel = _GPU_KERNELS[config.variant](spec=self.gpu)
+            out = kernel.run(layout, X)
+            details = out.summary()
+        else:
+            kernel = _FPGA_KERNELS[config.variant](spec=self.fpga)
+            out = kernel.run(layout, X, replication=config.replication)
+            details = out.summary()
+        if self.verify_against_reference:
+            ref = reference_predict(self.trees, X)
+            if not np.array_equal(out.predictions, ref):
+                raise RuntimeError(
+                    f"simulated kernel {config.label} disagrees with the "
+                    "CPU reference — layout or kernel bug"
+                )
+        seconds = out.seconds
+        if include_transfer:
+            from repro.core.transfer import TransferModel
+
+            tm = TransferModel()
+            roundtrip = tm.query_roundtrip_seconds(X.shape[0], X.shape[1])
+            details["transfer_query_roundtrip_s"] = roundtrip
+            details["transfer_layout_upload_s"] = tm.upload_layout_seconds(
+                layout
+            )
+            seconds = seconds + roundtrip
+        accuracy = None
+        if y_true is not None:
+            accuracy = accuracy_score(y_true, out.predictions)
+        return RunResult(
+            config=config,
+            predictions=out.predictions,
+            seconds=seconds,
+            details=details,
+            accuracy=accuracy,
+        )
+
+    def classify_batched(
+        self,
+        X: np.ndarray,
+        config: RunConfig = RunConfig(),
+        batch_size: int = 4096,
+        y_true: Optional[np.ndarray] = None,
+    ) -> "BatchedRunResult":
+        """Classify ``X`` in fixed-size batches (inference-service style).
+
+        Each batch is one simulated kernel launch; the result aggregates
+        per-batch latencies (total, mean, max — the numbers a deployment's
+        latency budget is written against).  Predictions are identical to a
+        single :meth:`classify` call.
+        """
+        from repro.core.results import BatchedRunResult
+
+        X = np.ascontiguousarray(X, dtype=np.float32)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError("X must be a non-empty 2-D array")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        preds = np.empty(X.shape[0], dtype=np.int64)
+        batch_seconds = []
+        for lo in range(0, X.shape[0], batch_size):
+            hi = min(lo + batch_size, X.shape[0])
+            res = self.classify(X[lo:hi], config)
+            preds[lo:hi] = res.predictions
+            batch_seconds.append(res.seconds)
+        accuracy = None
+        if y_true is not None:
+            accuracy = accuracy_score(y_true, preds)
+        return BatchedRunResult(
+            config=config,
+            predictions=preds,
+            batch_seconds=np.asarray(batch_seconds),
+            batch_size=batch_size,
+            accuracy=accuracy,
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Plain CPU reference prediction (no simulation)."""
+        return reference_predict(self.trees, X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """CPU reference accuracy."""
+        return accuracy_score(y, self.predict(X))

@@ -1,0 +1,73 @@
+"""Configuration enums and dataclasses for classification runs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fpgasim.replication import Replication
+from repro.layout.hierarchical import LayoutParams
+
+
+class Platform(str, enum.Enum):
+    """Target device of a simulated run."""
+
+    GPU = "gpu"
+    FPGA = "fpga"
+
+
+class KernelVariant(str, enum.Enum):
+    """The paper's code variants plus the comparators."""
+
+    CSR = "csr"
+    INDEPENDENT = "independent"
+    COLLABORATIVE = "collaborative"
+    HYBRID = "hybrid"
+    #: cuML-FIL-style baseline (GPU only).
+    CUML = "cuml"
+
+    @classmethod
+    def paper_variants(cls):
+        """The four variants evaluated on both platforms."""
+        return (cls.CSR, cls.INDEPENDENT, cls.COLLABORATIVE, cls.HYBRID)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything needed to time one classification run.
+
+    Attributes
+    ----------
+    platform, variant:
+        Where and how to run.
+    layout:
+        Hierarchical layout parameters (ignored for CSR / cuML variants).
+    replication:
+        FPGA CU/SLR replication (ignored on GPU).
+    """
+
+    platform: Platform = Platform.GPU
+    variant: KernelVariant = KernelVariant.HYBRID
+    layout: LayoutParams = field(default_factory=LayoutParams)
+    replication: Replication = field(default_factory=Replication)
+
+    def __post_init__(self):
+        platform = Platform(self.platform)
+        variant = KernelVariant(self.variant)
+        object.__setattr__(self, "platform", platform)
+        object.__setattr__(self, "variant", variant)
+        if platform is Platform.FPGA and variant is KernelVariant.CUML:
+            raise ValueError("the cuML baseline exists only on GPU")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable description."""
+        parts = [self.platform.value, self.variant.value]
+        if self.variant not in (KernelVariant.CSR, KernelVariant.CUML):
+            parts.append(f"SD{self.layout.sd}")
+            if self.layout.rsd != self.layout.sd:
+                parts.append(f"RSD{self.layout.rsd}")
+        if self.platform is Platform.FPGA and self.replication.total_cus > 1:
+            parts.append(self.replication.label)
+        return "-".join(parts)

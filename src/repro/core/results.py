@@ -1,0 +1,111 @@
+"""Result containers shared by the classifier API and experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.utils.tables import format_table
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated classification run."""
+
+    config: RunConfig
+    predictions: np.ndarray
+    #: Simulated device seconds (the paper's reported quantity).
+    seconds: float
+    #: Flat counter/timing details (kernel-specific keys).
+    details: Dict[str, float] = field(default_factory=dict)
+    #: Accuracy against ground truth, when labels were supplied.
+    accuracy: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline seconds / own seconds (the paper's speedup metric)."""
+        if self.seconds <= 0:
+            raise ValueError("non-positive run time")
+        return baseline.seconds / self.seconds
+
+
+@dataclass
+class BatchedRunResult:
+    """Outcome of a batched (inference-service style) classification."""
+
+    config: RunConfig
+    predictions: np.ndarray
+    #: Simulated seconds per batch, in dispatch order.
+    batch_seconds: np.ndarray
+    batch_size: int
+    accuracy: Optional[float] = None
+
+    @property
+    def n_batches(self) -> int:
+        return int(self.batch_seconds.shape[0])
+
+    @property
+    def total_seconds(self) -> float:
+        return float(self.batch_seconds.sum())
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        return float(self.batch_seconds.mean())
+
+    @property
+    def max_batch_seconds(self) -> float:
+        """Worst-case batch latency — what a latency SLO is written against."""
+        return float(self.batch_seconds.max())
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries per simulated second over the whole run."""
+        return self.predictions.shape[0] / self.total_seconds
+
+
+@dataclass
+class ComparisonTable:
+    """A set of runs over the same queries, printable like a paper table."""
+
+    rows: List[RunResult] = field(default_factory=list)
+    baseline_label: Optional[str] = None
+
+    def add(self, result: RunResult) -> None:
+        self.rows.append(result)
+
+    def baseline(self) -> RunResult:
+        """The row used as the speedup denominator (default: first)."""
+        if not self.rows:
+            raise ValueError("empty comparison table")
+        if self.baseline_label is None:
+            return self.rows[0]
+        for r in self.rows:
+            if r.label == self.baseline_label:
+                return r
+        raise KeyError(f"no run labelled {self.baseline_label!r}")
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Format as an aligned text table with speedups vs the baseline."""
+        base = self.baseline()
+        body = []
+        for r in self.rows:
+            body.append(
+                [
+                    r.label,
+                    r.seconds,
+                    r.speedup_over(base),
+                    "-" if r.accuracy is None else f"{r.accuracy:.4f}",
+                ]
+            )
+        return format_table(
+            ["variant", "seconds", "vs baseline", "accuracy"],
+            body,
+            title=title,
+            float_digits=4,
+        )

@@ -1,0 +1,33 @@
+"""Synthetic dataset generation calibrated to the paper's workloads.
+
+The paper evaluates on three UCI datasets (Covertype 581k x 54, Susy 3M x 18,
+Higgs 2.75M x 28).  Those files are not available offline, so this package
+provides generators whose *learning behaviour* matches each dataset's
+documented profile: the accuracy ceiling (Bayes error via label-flip noise),
+how quickly accuracy approaches that ceiling as tree depth grows (interaction
+structure of the label function), and the sample/feature scale.
+
+See DESIGN.md §2 for the substitution rationale.  The named profiles are in
+:mod:`repro.datasets.profiles`; :func:`load_dataset` is the main entry point.
+"""
+
+from repro.datasets.synthetic import make_forest_classification
+from repro.datasets.profiles import (
+    Dataset,
+    DatasetProfile,
+    PROFILES,
+    load_dataset,
+    make_synthetic_forest,
+)
+from repro.datasets.uci import load_uci, uci_available
+
+__all__ = [
+    "make_forest_classification",
+    "Dataset",
+    "DatasetProfile",
+    "PROFILES",
+    "load_dataset",
+    "make_synthetic_forest",
+    "load_uci",
+    "uci_available",
+]

@@ -1,0 +1,237 @@
+"""Named dataset profiles matching the paper's three UCI workloads.
+
+Each profile pins the generator parameters (noise = accuracy ceiling,
+teacher depth / signal decay = depth-to-plateau) and records the
+paper-reported facts the experiment harness compares against: full sample
+counts, feature counts, accuracy plateau, and the tree-depth band the paper
+selects for the timing experiments (§4.1).
+
+Scaling: ``load_dataset`` defaults to ``default_rows`` per profile (chosen so
+the whole suite runs in minutes); pass ``rows=`` explicitly or
+``scale="paper"`` for the full Table 1 sizes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.synthetic import make_forest_classification, train_test_split_half
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.tree import DecisionTree, random_tree
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Static description of one paper workload."""
+
+    name: str
+    #: Full size in the paper (Table 1).
+    paper_samples: int
+    n_features: int
+    #: Label-flip noise -> accuracy ceiling ~= 1 - noise.
+    noise: float
+    #: Ground-truth teacher tree depth (depth at which accuracy saturates).
+    teacher_depth: int
+    #: Per-level decay of teacher signal: small = front-loaded (plateaus
+    #: early, Susy-like), near 1 = spread out (long climb, Covertype-like).
+    signal_decay: float
+    #: Teacher branching probability past depth 4 (tree sparsity).
+    branch_prob: float
+    n_informative: int
+    #: Default generated rows at scale=None (laptop-friendly).
+    default_rows: int
+    #: Tree-depth band the paper selects for timing runs (§4.1).
+    depth_band: Tuple[int, ...] = (15, 20, 25)
+    #: Peak accuracy reported in Fig. 5 (for EXPERIMENTS.md comparison).
+    paper_peak_accuracy: float = 0.0
+    #: Accuracy at depth 5 / 100 trees in Fig. 5 (shape anchor).
+    paper_depth5_accuracy: float = 0.0
+
+
+#: The three UCI workloads, parameterised per DESIGN.md §2.  The generator
+#: parameters were calibrated empirically (see EXPERIMENTS.md) so that at the
+#: default scale each dataset reproduces its Fig. 5 signature: the accuracy
+#: *ceiling ordering* (covertype 0.85+ > susy 0.80 > higgs 0.73) and the
+#: *plateau-depth ordering* (susy earliest, covertype latest).  Note the depth
+#: axis is compressed relative to the paper: with ~10k training rows instead
+#: of millions, trees saturate at depth ~16-22 instead of ~30-35.
+PROFILES: Dict[str, DatasetProfile] = {
+    # Covertype: lowest Bayes noise, deep evenly-spread teacher -> long climb
+    # (measured ~0.73 @ d5 -> ~0.85 plateau, the largest climb of the three).
+    "covertype": DatasetProfile(
+        name="covertype",
+        paper_samples=581_012,
+        n_features=54,
+        noise=0.03,
+        teacher_depth=16,
+        signal_decay=1.0,
+        branch_prob=0.75,
+        n_informative=4,
+        default_rows=32_000,
+        depth_band=(30, 35, 40),
+        paper_peak_accuracy=0.889,
+        paper_depth5_accuracy=0.714,
+    ),
+    # Susy: high Bayes noise, shallow front-loaded teacher -> plateaus almost
+    # immediately (measured ~0.78 @ d5 -> ~0.80 plateau by depth 8).
+    "susy": DatasetProfile(
+        name="susy",
+        paper_samples=3_000_000,
+        n_features=18,
+        noise=0.185,
+        teacher_depth=10,
+        signal_decay=0.65,
+        branch_prob=0.75,
+        n_informative=4,
+        default_rows=16_000,
+        depth_band=(15, 20, 25),
+        paper_peak_accuracy=0.802,
+        paper_depth5_accuracy=0.773,
+    ),
+    # Higgs: highest Bayes noise, mid-depth teacher -> moderate climb to the
+    # lowest ceiling (measured ~0.70 @ d5 -> ~0.73 plateau).
+    "higgs": DatasetProfile(
+        name="higgs",
+        paper_samples=2_750_000,
+        n_features=28,
+        noise=0.205,
+        teacher_depth=11,
+        signal_decay=0.85,
+        branch_prob=0.72,
+        n_informative=5,
+        default_rows=16_000,
+        depth_band=(25, 30, 35),
+        paper_peak_accuracy=0.740,
+        paper_depth5_accuracy=0.670,
+    ),
+}
+
+
+@dataclass
+class Dataset:
+    """A materialised train/test split ready for training and inference."""
+
+    name: str
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    profile: Optional[DatasetProfile] = None
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X_train.shape[1])
+
+    @property
+    def n_queries(self) -> int:
+        """Test-set size — the paper's query count for timing runs."""
+        return int(self.X_test.shape[0])
+
+
+def load_dataset(
+    name: str,
+    rows: Optional[int] = None,
+    scale: Union[float, str, None] = None,
+    seed: int = 0,
+    source: str = "auto",
+) -> Dataset:
+    """Load the named workload and split 1:1 (paper §4).
+
+    Parameters
+    ----------
+    name:
+        One of ``covertype``, ``susy``, ``higgs``.
+    rows:
+        Total rows (train + test).  Default: the profile's laptop-friendly
+        ``default_rows``.
+    scale:
+        Alternative to ``rows``: a fraction of the paper's full sample
+        count, or the string ``"paper"`` for the full Table 1 size.
+    seed:
+        Generator seed; fixed per name by default so forests are cacheable.
+    source:
+        ``"synthetic"`` — the calibrated generator (offline default);
+        ``"uci"`` — the real UCI file from ``$REPRO_UCI_DIR`` (error if
+        absent); ``"auto"`` — real file when available, else synthetic.
+    """
+    if name not in PROFILES:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(PROFILES)}")
+    if source not in ("auto", "synthetic", "uci"):
+        raise ValueError(f"source must be auto/synthetic/uci, got {source!r}")
+    if source != "synthetic":
+        from repro.datasets.uci import load_uci, uci_available
+
+        if source == "uci" or uci_available(name):
+            uci_rows = rows
+            if uci_rows is None and scale is None:
+                uci_rows = PROFILES[name].default_rows
+            elif scale == "paper":
+                uci_rows = None  # whole file
+            elif scale is not None:
+                uci_rows = max(
+                    200, int(round(PROFILES[name].paper_samples * float(scale)))
+                )
+            return load_uci(name, rows=uci_rows, seed=seed)
+    prof = PROFILES[name]
+    if rows is not None and scale is not None:
+        raise ValueError("pass either rows or scale, not both")
+    if scale == "paper":
+        rows = prof.paper_samples
+    elif scale is not None:
+        rows = max(200, int(round(prof.paper_samples * float(scale))))
+    elif rows is None:
+        rows = prof.default_rows
+    rows = check_positive_int(rows, "rows", minimum=2)
+
+    X, y = make_forest_classification(
+        n_samples=rows,
+        n_features=prof.n_features,
+        noise=prof.noise,
+        teacher_depth=prof.teacher_depth,
+        signal_decay=prof.signal_decay,
+        branch_prob=prof.branch_prob,
+        n_informative=prof.n_informative,
+        # zlib.crc32 is stable across processes (str hash() is salted).
+        seed=np.random.SeedSequence((zlib.crc32(name.encode()) & 0xFFFF, seed)),
+    )
+    Xtr, ytr, Xte, yte = train_test_split_half(X, y, seed=seed + 1)
+    return Dataset(
+        name=name, X_train=Xtr, y_train=ytr, X_test=Xte, y_test=yte, profile=prof
+    )
+
+
+def make_synthetic_forest(
+    n_trees: int = 40,
+    depth: int = 15,
+    n_features: int = 16,
+    n_queries: int = 250_000,
+    leaf_prob: float = 0.25,
+    seed: int = 0,
+) -> Tuple[RandomForestClassifier, np.ndarray]:
+    """Random-topology forest + queries for Table 3's synthetic FPGA workload.
+
+    The paper's Table 3 uses a synthetic dataset (d=15, t=40, q=250k); the
+    tree *contents* are irrelevant there — only the traversal volumes matter —
+    so trees are grown topologically (every root-to-frontier path capped at
+    ``depth``) rather than trained.
+    """
+    rng = as_rng(seed)
+    trees: List[DecisionTree] = []
+    attempts = 0
+    while len(trees) < n_trees:
+        t = random_tree(rng, n_features, depth, leaf_prob=leaf_prob, min_nodes=3)
+        attempts += 1
+        # Keep only trees that actually reach the requested depth so the
+        # workload matches the paper's d parameter (give up gracefully if
+        # leaf_prob makes that astronomically unlikely).
+        if t.max_depth == depth or attempts > 50 * n_trees:
+            trees.append(t)
+    forest = RandomForestClassifier.from_trees(trees, n_features)
+    queries = rng.standard_normal((n_queries, n_features)).astype(np.float32)
+    return forest, queries

@@ -1,0 +1,17 @@
+"""One module per table/figure of the paper's evaluation (§4).
+
+Every module exposes ``run(scale=...)`` returning structured rows and a
+``render(rows)`` that prints the same series the paper reports.  Scales:
+
+* ``"smoke"`` — seconds; used by the test suite.
+* ``"default"`` — minutes for the full set; the benchmark harness scale.
+* ``"full"`` — the complete grids at the library's default dataset sizes.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.experiments import common
+from repro.experiments.common import Scale, get_dataset, get_forest
+
+__all__ = ["common", "Scale", "get_dataset", "get_forest"]

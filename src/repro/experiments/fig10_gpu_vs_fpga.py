@@ -1,0 +1,90 @@
+"""Fig. 10 — GPU vs FPGA on the Susy dataset.
+
+The paper compares its best GPU kernels against the single-CU FPGA kernels
+on Susy across subtree depths: the GPU wins by a wide margin (orders of
+magnitude) thanks to its ~7x memory bandwidth, much higher clock and
+thousands of threads, while the FPGA's II-76 dependency chain caps its
+pipeline throughput (§4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.experiments.common import (
+    band_depths,
+    get_dataset,
+    get_forest,
+    get_scale,
+    queries_for,
+)
+from repro.layout.hierarchical import LayoutParams
+from repro.utils.ascii_plot import barchart
+from repro.utils.tables import format_table
+
+
+def run(scale="default", dataset: str = "susy") -> List[Dict]:
+    """Time GPU and FPGA (independent + hybrid) per SD on Susy."""
+    scale = get_scale(scale)
+    ds = get_dataset(dataset, scale)
+    X = queries_for(ds, scale)
+    depth = band_depths(dataset, scale)[0]
+    forest = get_forest(dataset, depth, scale.n_trees, scale)
+    clf = HierarchicalForestClassifier.from_forest(forest)
+    rows: List[Dict] = []
+    for sd in scale.subtree_depths:
+        layout = LayoutParams(sd)
+        for variant in (KernelVariant.INDEPENDENT, KernelVariant.HYBRID):
+            gpu = clf.classify(
+                X, RunConfig(platform=Platform.GPU, variant=variant, layout=layout)
+            )
+            fpga = clf.classify(
+                X, RunConfig(platform=Platform.FPGA, variant=variant, layout=layout)
+            )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "depth": depth,
+                    "sd": sd,
+                    "variant": variant.value,
+                    "gpu_seconds": gpu.seconds,
+                    "fpga_seconds": fpga.seconds,
+                    "gpu_advantage": fpga.seconds / gpu.seconds,
+                }
+            )
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    table = [
+        [
+            r["sd"],
+            r["variant"],
+            r["gpu_seconds"] * 1e3,
+            r["fpga_seconds"],
+            r["gpu_advantage"],
+        ]
+        for r in rows
+    ]
+    out = format_table(
+        ["SD", "variant", "GPU sim ms", "FPGA sim s", "GPU advantage (x)"],
+        table,
+        title="Fig. 10 [susy]: GPU vs FPGA (paper: GPU wins by orders of "
+        "magnitude)",
+    )
+    chart = barchart(
+        [
+            (f"SD{r['sd']}-{r['variant']}", r["gpu_advantage"])
+            for r in rows
+        ],
+        title="GPU advantage (x, log-like scale of the paper's gap)",
+    )
+    return out + "\n\n" + chart
+
+
+def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
+    rows = run(scale)
+    print(render(rows))
+    return rows

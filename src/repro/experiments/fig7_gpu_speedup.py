@@ -1,0 +1,126 @@
+"""Fig. 7 — GPU speedup over CSR: independent / hybrid (SD 4,6,8) + cuML.
+
+Paper bands (for high-accuracy depth bands, 100 trees): independent
+2.5-4x, hybrid 4.5-9x and always above independent, cuML (FIL) 4-5x with
+the hybrid matching it at SD 4 and beating it at SD 6-8; deeper subtrees
+help both hierarchical variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.experiments.common import (
+    band_depths,
+    get_dataset,
+    get_forest,
+    get_scale,
+    queries_for,
+)
+from repro.layout.hierarchical import LayoutParams
+from repro.utils.ascii_plot import barchart
+from repro.utils.tables import format_table
+
+DATASETS = ("covertype", "susy", "higgs")
+
+
+def run(scale="default", datasets=DATASETS) -> List[Dict]:
+    """Time CSR, cuML and the hierarchical variants per (dataset, depth)."""
+    scale = get_scale(scale)
+    rows: List[Dict] = []
+    for name in datasets:
+        ds = get_dataset(name, scale)
+        X = queries_for(ds, scale)
+        for depth in band_depths(name, scale):
+            forest = get_forest(name, depth, scale.n_trees, scale)
+            clf = HierarchicalForestClassifier.from_forest(forest)
+            base = clf.classify(X, RunConfig(variant=KernelVariant.CSR))
+            cuml = clf.classify(X, RunConfig(variant=KernelVariant.CUML))
+            rows.append(
+                {
+                    "dataset": name,
+                    "depth": depth,
+                    "variant": "cuml",
+                    "sd": None,
+                    "seconds": cuml.seconds,
+                    "speedup": cuml.speedup_over(base),
+                    "csr_seconds": base.seconds,
+                }
+            )
+            for sd in scale.subtree_depths:
+                for variant in (
+                    KernelVariant.INDEPENDENT,
+                    KernelVariant.HYBRID,
+                ):
+                    res = clf.classify(
+                        X,
+                        RunConfig(variant=variant, layout=LayoutParams(sd)),
+                    )
+                    rows.append(
+                        {
+                            "dataset": name,
+                            "depth": depth,
+                            "variant": variant.value,
+                            "sd": sd,
+                            "seconds": res.seconds,
+                            "speedup": res.speedup_over(base),
+                            "csr_seconds": base.seconds,
+                        }
+                    )
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    table = [
+        [
+            r["dataset"],
+            r["depth"],
+            r["variant"],
+            "-" if r["sd"] is None else r["sd"],
+            r["speedup"],
+            r["seconds"] * 1e3,
+        ]
+        for r in rows
+    ]
+    out = [
+        format_table(
+            ["dataset", "tree depth", "variant", "SD", "speedup vs CSR", "sim ms"],
+            table,
+            title="Fig. 7: GPU speedup over CSR "
+            "(paper: independent 2.5-4x, hybrid 4.5-9x, cuML 4-5x)",
+        )
+    ]
+    for dataset in sorted({r["dataset"] for r in rows}):
+        for depth in sorted({r["depth"] for r in rows if r["dataset"] == dataset}):
+            sub = [
+                r for r in rows
+                if r["dataset"] == dataset and r["depth"] == depth
+            ]
+            items = [("csr", 1.0)]
+            items += sorted(
+                (
+                    (
+                        f"{r['variant']}"
+                        + (f"-SD{r['sd']}" if r["sd"] is not None else ""),
+                        r["speedup"],
+                    )
+                    for r in sub
+                ),
+                key=lambda kv: kv[1],
+            )
+            out.append(
+                barchart(
+                    items,
+                    title=f"[{dataset} d={depth}] speedup over CSR",
+                    baseline=1.0,
+                )
+            )
+    return "\n\n".join(out)
+
+
+def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
+    rows = run(scale)
+    print(render(rows))
+    return rows

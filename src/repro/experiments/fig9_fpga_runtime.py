@@ -1,0 +1,118 @@
+"""Fig. 9 — FPGA runtime vs tree depth and subtree depth (SD).
+
+The paper runs the independent and hybrid FPGA variants on the three ML
+datasets across their depth bands at SD 4/6/8 (single CU).  Expected shape:
+the independent variant outperforms or ties the hybrid at the same SD on
+these large workloads (the paper's scalability observation), deeper subtrees
+lower both variants' runtimes, and runtime grows with tree depth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.experiments.common import (
+    band_depths,
+    get_dataset,
+    get_forest,
+    get_scale,
+    queries_for,
+)
+from repro.layout.hierarchical import LayoutParams
+from repro.utils.ascii_plot import series_chart
+from repro.utils.tables import format_table
+
+DATASETS = ("covertype", "susy", "higgs")
+
+
+def run(scale="default", datasets=DATASETS) -> List[Dict]:
+    """Time both FPGA variants per (dataset, depth, SD)."""
+    scale = get_scale(scale)
+    rows: List[Dict] = []
+    for name in datasets:
+        ds = get_dataset(name, scale)
+        X = queries_for(ds, scale)
+        for depth in band_depths(name, scale):
+            forest = get_forest(name, depth, scale.n_trees, scale)
+            clf = HierarchicalForestClassifier.from_forest(forest)
+            for sd in scale.subtree_depths:
+                layout = LayoutParams(sd)
+                for variant in (
+                    KernelVariant.INDEPENDENT,
+                    KernelVariant.HYBRID,
+                ):
+                    res = clf.classify(
+                        X,
+                        RunConfig(
+                            platform=Platform.FPGA,
+                            variant=variant,
+                            layout=layout,
+                        ),
+                    )
+                    rows.append(
+                        {
+                            "dataset": name,
+                            "depth": depth,
+                            "sd": sd,
+                            "variant": variant.value,
+                            "seconds": res.seconds,
+                            "stall_pct": res.details["stall_pct"],
+                        }
+                    )
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    table = [
+        [
+            r["dataset"],
+            r["depth"],
+            r["sd"],
+            r["variant"],
+            r["seconds"],
+            f"{r['stall_pct']:.1%}",
+        ]
+        for r in rows
+    ]
+    out = [
+        format_table(
+            ["dataset", "tree depth", "SD", "variant", "sim seconds", "stall"],
+            table,
+            title="Fig. 9: FPGA runtime vs tree depth and SD "
+            "(paper: independent <= hybrid at same SD; deeper SD faster)",
+        )
+    ]
+    for dataset in sorted({r["dataset"] for r in rows}):
+        depths = sorted({r["depth"] for r in rows if r["dataset"] == dataset})
+        for depth in depths:
+            sub = [
+                r for r in rows
+                if r["dataset"] == dataset and r["depth"] == depth
+            ]
+            sds = sorted({r["sd"] for r in sub})
+            series = {}
+            for variant in sorted({r["variant"] for r in sub}):
+                series[variant] = [
+                    next(
+                        r["seconds"] for r in sub
+                        if r["variant"] == variant and r["sd"] == sd
+                    )
+                    for sd in sds
+                ]
+            out.append(
+                series_chart(
+                    series,
+                    x_labels=[f"SD{sd}" for sd in sds],
+                    title=f"[{dataset} d={depth}] FPGA sim seconds vs SD",
+                    fmt="{:.3f}",
+                )
+            )
+    return "\n\n".join(out)
+
+
+def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
+    rows = run(scale)
+    print(render(rows))
+    return rows

@@ -1,0 +1,84 @@
+"""Table 2 — effect of the root subtree depth (RSD).
+
+The paper fixes the non-root subtree depth at 8 and sweeps RSD over
+{8, 10, 12}: GPU hybrid speedup over CSR (``G8/G10/G12``) generally grows
+with RSD (more of the hot top-of-tree is served from shared memory), while
+FPGA independent runtimes (``F8/F10/F12``, seconds) are nearly flat — the
+independent FPGA kernel does not use the root subtree specially, so RSD only
+perturbs the layout slightly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.experiments.common import (
+    band_depths,
+    get_dataset,
+    get_forest,
+    get_scale,
+    queries_for,
+)
+from repro.layout.hierarchical import LayoutParams
+from repro.utils.tables import format_table
+
+DATASETS = ("covertype", "susy", "higgs")
+RSD_VALUES = (8, 10, 12)
+#: Non-root subtree depth, fixed as in the paper.
+SD = 8
+
+
+def run(scale="default", datasets=DATASETS) -> List[Dict]:
+    """Sweep RSD per (dataset, depth): GPU hybrid speedup + FPGA seconds."""
+    scale = get_scale(scale)
+    rows: List[Dict] = []
+    for name in datasets:
+        ds = get_dataset(name, scale)
+        X = queries_for(ds, scale)
+        for depth in band_depths(name, scale):
+            forest = get_forest(name, depth, scale.n_trees, scale)
+            clf = HierarchicalForestClassifier.from_forest(forest)
+            base = clf.classify(X, RunConfig(variant=KernelVariant.CSR))
+            row: Dict = {"dataset": name, "depth": depth}
+            for rsd in RSD_VALUES:
+                layout = LayoutParams(SD, rsd)
+                g = clf.classify(
+                    X, RunConfig(variant=KernelVariant.HYBRID, layout=layout)
+                )
+                f = clf.classify(
+                    X,
+                    RunConfig(
+                        platform=Platform.FPGA,
+                        variant=KernelVariant.INDEPENDENT,
+                        layout=layout,
+                    ),
+                )
+                row[f"G{rsd}"] = g.speedup_over(base)
+                row[f"F{rsd}"] = f.seconds
+            rows.append(row)
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    table = [
+        [r["dataset"], r["depth"]]
+        + [r[f"G{v}"] for v in RSD_VALUES]
+        + [r[f"F{v}"] for v in RSD_VALUES]
+        for r in rows
+    ]
+    return format_table(
+        ["dataset", "d"]
+        + [f"G{v}" for v in RSD_VALUES]
+        + [f"F{v} (s)" for v in RSD_VALUES],
+        table,
+        title="Table 2: RSD effect — GPU hybrid speedup (GX) and FPGA "
+        "independent seconds (FX); paper: GX grows with RSD, FX ~flat",
+    )
+
+
+def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
+    rows = run(scale)
+    print(render(rows))
+    return rows

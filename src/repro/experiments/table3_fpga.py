@@ -1,0 +1,130 @@
+"""Table 3 — FPGA code-variant comparison on the synthetic workload.
+
+The paper's synthetic configuration: 250k queries, 40 trees of depth 15,
+maximum subtree depth 10.  Rows: CSR baseline, independent, collaborative
+and hybrid single-CU, plus the replicated configurations (4 SLRs x 12 CUs
+for independent/hybrid, the 4S10C split hybrid at 245 MHz).  Expected
+ordering (speedup vs CSR): collaborative << 1 < independent < hybrid for a
+single CU; under full replication the independent variant scales best
+(paper: 109.5x), with the split hybrid between it and the plain replicated
+hybrid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.datasets.profiles import make_synthetic_forest
+from repro.experiments.common import get_scale
+from repro.fpgasim.replication import Replication
+from repro.layout.hierarchical import LayoutParams
+from repro.utils.tables import format_table
+
+#: Paper parameters (q is scaled by the Scale's queries fraction).
+PAPER_Q = 250_000
+PAPER_TREES = 40
+PAPER_DEPTH = 15
+PAPER_SD = 10
+
+#: Paper-reported (seconds, stall, speedup-vs-CSR), from the central
+#: transcription in repro.paper.reference.
+from repro.paper.reference import TABLE3 as _PAPER_TABLE3
+
+PAPER_ROWS = {
+    version: (row[0], row[1], row[2]) for version, row in _PAPER_TABLE3.items()
+}
+
+
+def run(scale="default", seed: int = 5) -> List[Dict]:
+    """Run all Table 3 configurations at a scaled query count."""
+    scale = get_scale(scale)
+    n_queries = min(PAPER_Q, max(scale.queries * 8, 2048))
+    n_trees = PAPER_TREES if scale.name != "smoke" else 8
+    forest, X = make_synthetic_forest(
+        n_trees=n_trees,
+        depth=PAPER_DEPTH,
+        n_queries=n_queries,
+        leaf_prob=0.05,
+        seed=seed,
+    )
+    clf = HierarchicalForestClassifier.from_forest(forest)
+    layout = LayoutParams(PAPER_SD)
+
+    def fpga(variant, replication=Replication()):
+        return clf.classify(
+            X,
+            RunConfig(
+                platform=Platform.FPGA,
+                variant=variant,
+                layout=layout,
+                replication=replication,
+            ),
+        )
+
+    configs = [
+        ("csr", KernelVariant.CSR, Replication()),
+        ("independent", KernelVariant.INDEPENDENT, Replication()),
+        ("collaborative", KernelVariant.COLLABORATIVE, Replication()),
+        ("hybrid", KernelVariant.HYBRID, Replication()),
+        ("independent-4S12C", KernelVariant.INDEPENDENT, Replication(4, 12)),
+        ("hybrid-4S12C", KernelVariant.HYBRID, Replication(4, 12)),
+        (
+            "hybrid-split-4S10C",
+            KernelVariant.HYBRID,
+            Replication(4, 10, freq_mhz=245.0, split_stage1=True),
+        ),
+    ]
+    rows: List[Dict] = []
+    base_seconds = None
+    for label, variant, repl in configs:
+        res = fpga(variant, repl)
+        if base_seconds is None:
+            base_seconds = res.seconds
+        paper = PAPER_ROWS[label]
+        rows.append(
+            {
+                "version": label,
+                "seconds": res.seconds,
+                "stall_pct": res.details["stall_pct"],
+                "vs_csr": base_seconds / res.seconds,
+                "ii": res.details["ii"],
+                "freq_mhz": res.details["freq_mhz"],
+                "paper_seconds": paper[0],
+                "paper_stall": paper[1],
+                "paper_vs_csr": paper[2],
+                "n_queries": n_queries,
+                "n_trees": n_trees,
+            }
+        )
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    table = [
+        [
+            r["version"],
+            r["seconds"],
+            f"{r['stall_pct']:.1%}",
+            r["vs_csr"],
+            r["ii"],
+            int(r["freq_mhz"]),
+            r["paper_vs_csr"],
+            "-" if r["paper_stall"] is None else f"{r['paper_stall']:.1%}",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["version", "time (s)", "stall", "vs CSR", "II", "f MHz",
+         "paper vs CSR", "paper stall"],
+        table,
+        title=f"Table 3: FPGA variants on synthetic d={PAPER_DEPTH}, "
+        f"s={PAPER_SD}, t={rows[0]['n_trees']}, q={rows[0]['n_queries']}",
+    )
+
+
+def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
+    rows = run(scale)
+    print(render(rows))
+    return rows

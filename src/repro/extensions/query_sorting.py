@@ -1,0 +1,95 @@
+"""Query presorting (related work the paper declined — §5, Goldfarb et al.).
+
+Goldfarb et al. presort queries before lock-step traversal so similar
+queries land in the same warp, reducing divergence and uncoalescing.  The
+paper argues the presorting cost "cannot be amortized" for high-dimensional
+ML data and skips it.  This extension implements the technique so the claim
+can be examined in the model:
+
+* :func:`sort_queries` orders queries by their *root-path signature* — the
+  sequence of left/right decisions over the forest's most important
+  features — which is what determines warp coherence during traversal.
+* Because the simulated kernels map query ``i`` to lane ``i % 32``, running
+  a kernel on the sorted matrix directly yields the warp-coherence benefit;
+  :func:`sorting_cost_seconds` estimates what the sort itself would cost on
+  the device, so benches can report the net effect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.forest.tree import LEAF, DecisionTree
+from repro.gpusim.device import GPUSpec, TITAN_XP
+from repro.utils.validation import check_array_2d, check_positive_int
+
+
+def root_path_signature(
+    trees: Sequence[DecisionTree], X: np.ndarray, depth: int = 6
+) -> np.ndarray:
+    """Bit signature of each query's first ``depth`` decisions per tree.
+
+    Uses the first tree's top levels (all queries traverse them, and tree
+    tops correlate across a bagged forest), packing one bit per level:
+    queries with equal signatures follow identical top paths.
+    """
+    X = check_array_2d(X, "X")
+    check_positive_int(depth, "depth")
+    if not trees:
+        raise ValueError("need at least one tree")
+    tree = trees[0]
+    n = X.shape[0]
+    sig = np.zeros(n, dtype=np.int64)
+    node = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    rows = np.arange(n)
+    for level in range(depth):
+        feats = tree.feature[node]
+        inner = alive & (feats != LEAF)
+        go_right = np.zeros(n, dtype=bool)
+        if np.any(inner):
+            go_right[inner] = (
+                X[rows[inner], feats[inner]] >= tree.threshold[node[inner]]
+            )
+            node[inner] = np.where(
+                go_right[inner],
+                tree.right_child[node[inner]],
+                tree.left_child[node[inner]],
+            )
+        sig = (sig << 1) | go_right.astype(np.int64)
+        alive = inner
+    return sig
+
+
+def sort_queries(
+    trees: Sequence[DecisionTree], X: np.ndarray, depth: int = 6
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(X_sorted, order)`` grouping path-coherent queries.
+
+    ``order`` maps sorted positions back to original indices, so results
+    computed on ``X_sorted`` are restored with ``out[inv]`` where
+    ``inv = np.argsort(order)``.
+    """
+    sig = root_path_signature(trees, X, depth)
+    order = np.argsort(sig, kind="stable")
+    return np.ascontiguousarray(X[order]), order
+
+
+def sorting_cost_seconds(
+    n_queries: int, n_features: int, spec: GPUSpec = TITAN_XP
+) -> float:
+    """Device cost estimate of the presort itself.
+
+    Signature computation (one short traversal over all queries) plus a
+    radix-style key sort: ~8 passes over (key, index) pairs at DRAM
+    bandwidth, plus the gather to reorder the feature matrix — the term the
+    paper argues cannot be amortised when features are wide.
+    """
+    check_positive_int(n_queries, "n_queries")
+    check_positive_int(n_features, "n_features")
+    key_bytes = n_queries * 16  # 8 B key + 8 B index
+    sort_bytes = 8 * 2 * key_bytes  # 8 radix passes, read + write
+    gather_bytes = 2 * n_queries * n_features * 4  # uncoalesced row gather
+    return (sort_bytes + gather_bytes) / spec.mem_bandwidth + spec.launch_overhead_s

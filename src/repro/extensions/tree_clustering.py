@@ -1,0 +1,101 @@
+"""K-Means tree clustering by feature-access profile (paper §3.2.1, opt. 1).
+
+The idea the paper tested: trees that split on similar features touch
+similar query columns, so placing them adjacently in the forest layout might
+improve data locality.  The paper found "no significant performance
+benefit"; the ablation bench reproduces that finding.
+
+The clustering itself is self-contained (Lloyd's algorithm on normalised
+feature-usage histograms) so the library has no scikit-learn dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.forest.tree import LEAF, DecisionTree
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int
+
+
+def feature_usage_histogram(tree: DecisionTree, n_features: int) -> np.ndarray:
+    """Normalised histogram of split-feature usage for one tree.
+
+    Inner nodes are weighted by how often traversals can reach them —
+    approximated by ``2^-depth`` (each split halves the expected query
+    mass), so the hot top-of-tree features dominate the profile.
+    """
+    if n_features < 1:
+        raise ValueError("n_features must be positive")
+    hist = np.zeros(n_features, dtype=np.float64)
+    inner = tree.feature != LEAF
+    feats = tree.feature[inner]
+    if np.any(feats >= n_features):
+        raise ValueError("tree uses features outside [0, n_features)")
+    weights = np.power(0.5, tree.depth[inner].astype(np.float64))
+    np.add.at(hist, feats, weights)
+    total = hist.sum()
+    return hist / total if total > 0 else hist
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    n_iter: int = 50,
+    seed=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's k-means; returns ``(labels, centroids)``.
+
+    Deterministic given ``seed``; empty clusters are reseeded to the point
+    farthest from its centroid.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    k = check_positive_int(k, "k")
+    k = min(k, points.shape[0])
+    rng = as_rng(seed)
+    centroids = points[rng.choice(points.shape[0], size=k, replace=False)].copy()
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    for _ in range(n_iter):
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_labels = d2.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(k):
+            members = points[labels == c]
+            if members.shape[0] == 0:
+                # Reseed an empty cluster at the worst-fit point.
+                worst = int(d2[np.arange(len(labels)), labels].argmax())
+                centroids[c] = points[worst]
+            else:
+                centroids[c] = members.mean(axis=0)
+    return labels, centroids
+
+
+def cluster_trees_by_features(
+    trees: Sequence[DecisionTree],
+    n_features: int,
+    k: int = 4,
+    seed: int = 0,
+) -> List[int]:
+    """Return a tree ordering grouping trees with similar feature profiles.
+
+    The returned permutation places each k-means cluster's trees
+    contiguously (clusters ordered by size, largest first), which is the
+    layout-adjacency the paper's optimisation 1 aimed for.
+    """
+    if not trees:
+        raise ValueError("need at least one tree")
+    profiles = np.stack(
+        [feature_usage_histogram(t, n_features) for t in trees]
+    )
+    labels, _ = kmeans(profiles, k, seed=seed)
+    order: List[int] = []
+    sizes = np.bincount(labels, minlength=labels.max() + 1)
+    for c in np.argsort(sizes)[::-1]:
+        order.extend(int(i) for i in np.flatnonzero(labels == c))
+    return order

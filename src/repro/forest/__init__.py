@@ -1,0 +1,46 @@
+"""Random-forest training substrate (scikit-learn substitute).
+
+The paper trains its forests with scikit-learn's ``RandomForestClassifier``;
+scikit-learn is not available in this environment, so this subpackage
+implements the pieces the paper depends on from scratch:
+
+* :class:`~repro.forest.tree.DecisionTree` — an array-based (struct-of-arrays)
+  decision tree, the canonical in-memory form every layout is derived from.
+* :class:`~repro.forest.builder.TreeBuilder` — a CART trainer with Gini
+  impurity, exact and histogram split finding, depth/leaf-size controls.
+* :class:`~repro.forest.random_forest.RandomForestClassifier` — bootstrap
+  aggregation of CART trees with sqrt-feature subsampling and majority-vote
+  prediction, mirroring scikit-learn's semantics for the parameters the paper
+  sweeps (``max_depth``, ``n_estimators``).
+"""
+
+from repro.forest.tree import DecisionTree, LEAF, EMPTY
+from repro.forest.builder import TreeBuilder
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.metrics import accuracy_score, tree_shape_stats, forest_shape_stats
+from repro.forest.io import save_forest, load_forest
+from repro.forest.importance import (
+    forest_feature_importances,
+    oob_score,
+    tree_feature_importance,
+)
+from repro.forest.prune import depth_sweep, truncate_depth, truncate_forest
+
+__all__ = [
+    "depth_sweep",
+    "truncate_depth",
+    "truncate_forest",
+    "forest_feature_importances",
+    "oob_score",
+    "tree_feature_importance",
+    "DecisionTree",
+    "LEAF",
+    "EMPTY",
+    "TreeBuilder",
+    "RandomForestClassifier",
+    "accuracy_score",
+    "tree_shape_stats",
+    "forest_shape_stats",
+    "save_forest",
+    "load_forest",
+]

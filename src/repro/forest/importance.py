@@ -1,0 +1,96 @@
+"""Feature importances and out-of-bag evaluation.
+
+Standard random-forest facilities the training substrate should offer a
+downstream user (scikit-learn parity): mean-decrease-in-impurity feature
+importances computed from the stored trees, and out-of-bag accuracy, the
+free validation estimate bootstrap sampling provides.  The OOB machinery
+requires recording each tree's bootstrap sample, which
+:class:`~repro.forest.random_forest.RandomForestClassifier` does when
+``store_oob=True``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.forest.tree import LEAF, DecisionTree
+
+
+def tree_feature_importance(
+    tree: DecisionTree, n_features: int
+) -> np.ndarray:
+    """Per-feature importance of one tree (unnormalised MDI proxy).
+
+    Without stored per-node impurities, weight each split by the expected
+    query mass reaching it (``2^-depth``) — the same proxy the extensions
+    module uses for clustering, and a faithful stand-in for
+    mean-decrease-in-impurity rankings on balanced trees.
+    """
+    imp = np.zeros(n_features, dtype=np.float64)
+    inner = tree.feature != LEAF
+    feats = tree.feature[inner]
+    if feats.size and feats.max() >= n_features:
+        raise ValueError("tree uses features outside [0, n_features)")
+    weights = np.power(0.5, tree.depth[inner].astype(np.float64))
+    np.add.at(imp, feats, weights)
+    return imp
+
+
+def forest_feature_importances(
+    trees: Sequence[DecisionTree], n_features: int
+) -> np.ndarray:
+    """Normalised feature importances over a forest (sums to 1)."""
+    if not trees:
+        raise ValueError("need at least one tree")
+    total = np.zeros(n_features, dtype=np.float64)
+    for t in trees:
+        total += tree_feature_importance(t, n_features)
+    s = total.sum()
+    return total / s if s > 0 else total
+
+
+def oob_votes(
+    trees: Sequence[DecisionTree],
+    bootstrap_indices: Sequence[np.ndarray],
+    X: np.ndarray,
+    n_classes: int,
+) -> np.ndarray:
+    """Out-of-bag vote counts: each tree votes only on rows it never saw.
+
+    Returns ``int64[n_samples, n_classes]``; rows that were in every
+    bootstrap sample have all-zero votes.
+    """
+    if len(trees) != len(bootstrap_indices):
+        raise ValueError("one bootstrap index set per tree required")
+    n = X.shape[0]
+    votes = np.zeros((n, n_classes), dtype=np.int64)
+    rows = np.arange(n)
+    for tree, idx in zip(trees, bootstrap_indices):
+        in_bag = np.zeros(n, dtype=bool)
+        in_bag[np.asarray(idx)] = True
+        oob = ~in_bag
+        if not np.any(oob):
+            continue
+        pred = tree.predict(X[oob])
+        votes[rows[oob], pred] += 1
+    return votes
+
+
+def oob_score(
+    trees: Sequence[DecisionTree],
+    bootstrap_indices: Sequence[np.ndarray],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+) -> float:
+    """Out-of-bag accuracy over samples with at least one OOB vote."""
+    votes = oob_votes(trees, bootstrap_indices, X, n_classes)
+    has_vote = votes.sum(axis=1) > 0
+    if not np.any(has_vote):
+        raise ValueError(
+            "no out-of-bag samples — was the forest trained with bootstrap?"
+        )
+    pred = votes[has_vote].argmax(axis=1)
+    return float(np.mean(pred == np.asarray(y)[has_vote]))

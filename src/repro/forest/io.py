@@ -1,0 +1,86 @@
+"""Forest serialisation (single-file ``.npz``).
+
+Training deep forests dominates the wall-clock of the experiment pipeline, so
+the harness caches trained forests on disk.  The format is one compressed
+``.npz`` holding the concatenated node arrays plus per-tree offsets — the same
+struct-of-arrays discipline used everywhere else, so loading is a handful of
+slices with no per-node Python work.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.tree import DecisionTree
+
+_FORMAT_VERSION = 2
+
+
+def save_forest(path: str, forest: RandomForestClassifier) -> None:
+    """Serialise a fitted forest to ``path`` (``.npz`` appended if missing)."""
+    forest._check_fitted()
+    trees = forest.trees_
+    offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+    for i, t in enumerate(trees):
+        offsets[i + 1] = offsets[i] + t.n_nodes
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        n_classes=np.int64(forest.n_classes_),
+        n_features=np.int64(forest.n_features_),
+        tree_offsets=offsets,
+        feature=np.concatenate([t.feature for t in trees]),
+        threshold=np.concatenate([t.threshold for t in trees]),
+        left_child=np.concatenate([t.left_child for t in trees]),
+        right_child=np.concatenate([t.right_child for t in trees]),
+        value=np.concatenate([t.value for t in trees]),
+        depth=np.concatenate([t.depth for t in trees]),
+        n_samples=np.concatenate(
+            [
+                t.n_samples
+                if t.n_samples is not None
+                else np.full(t.n_nodes, -1, dtype=np.int64)
+                for t in trees
+            ]
+        ),
+    )
+
+
+def load_forest(path: str) -> RandomForestClassifier:
+    """Load a forest previously written by :func:`save_forest`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version not in (1, _FORMAT_VERSION):
+            raise ValueError(
+                f"unsupported forest file version {version} "
+                f"(expected <= {_FORMAT_VERSION})"
+            )
+        offsets = data["tree_offsets"]
+        n_classes = int(data["n_classes"])
+        trees: List[DecisionTree] = []
+        for i in range(len(offsets) - 1):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            n_samples = None
+            if version >= 2:
+                ns = data["n_samples"][lo:hi]
+                if ns[0] >= 0:
+                    n_samples = ns
+            trees.append(
+                DecisionTree(
+                    feature=data["feature"][lo:hi],
+                    threshold=data["threshold"][lo:hi],
+                    left_child=data["left_child"][lo:hi],
+                    right_child=data["right_child"][lo:hi],
+                    value=data["value"][lo:hi],
+                    n_classes=n_classes,
+                    depth=data["depth"][lo:hi],
+                    n_samples=n_samples,
+                )
+            )
+        return RandomForestClassifier.from_trees(trees, int(data["n_features"]))

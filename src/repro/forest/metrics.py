@@ -1,0 +1,90 @@
+"""Accuracy and tree-shape statistics.
+
+The paper's analysis hinges on tree *shape*: depth, sparsity, and the
+leaf-to-node ratio drive both the hierarchical layout's padding overhead
+(Fig. 6) and the traversal cost models.  These helpers compute those shape
+statistics for single trees and whole forests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.forest.tree import DecisionTree, LEAF
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified queries (paper's accuracy metric)."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot score empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclass
+class TreeShapeStats:
+    """Shape summary of one decision tree."""
+
+    n_nodes: int
+    n_leaves: int
+    max_depth: int
+    mean_leaf_depth: float
+    #: Fraction of nodes that are leaves above the deepest level — the
+    #: quantity Fig. 6's discussion links to hierarchical padding overhead.
+    early_leaf_fraction: float
+    #: Node occupancy vs. a full tree of the same depth (sparsity indicator).
+    density: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_nodes": self.n_nodes,
+            "n_leaves": self.n_leaves,
+            "max_depth": self.max_depth,
+            "mean_leaf_depth": self.mean_leaf_depth,
+            "early_leaf_fraction": self.early_leaf_fraction,
+            "density": self.density,
+        }
+
+
+def tree_shape_stats(tree: DecisionTree) -> TreeShapeStats:
+    """Compute :class:`TreeShapeStats` for one tree."""
+    leaf_mask = tree.feature == LEAF
+    leaf_depths = tree.depth[leaf_mask]
+    max_depth = tree.max_depth
+    early_leaves = int(np.count_nonzero(leaf_depths < max_depth))
+    full_nodes = float(2 ** (max_depth + 1) - 1)
+    return TreeShapeStats(
+        n_nodes=tree.n_nodes,
+        n_leaves=int(leaf_mask.sum()),
+        max_depth=max_depth,
+        mean_leaf_depth=float(leaf_depths.mean()),
+        early_leaf_fraction=early_leaves / max(1, int(leaf_mask.sum())),
+        density=tree.n_nodes / full_nodes,
+    )
+
+
+def forest_shape_stats(trees: List[DecisionTree]) -> Dict[str, float]:
+    """Aggregate shape statistics over a forest (means across trees)."""
+    if not trees:
+        raise ValueError("forest_shape_stats needs at least one tree")
+    per_tree = [tree_shape_stats(t) for t in trees]
+    return {
+        "n_trees": len(trees),
+        "total_nodes": sum(s.n_nodes for s in per_tree),
+        "total_leaves": sum(s.n_leaves for s in per_tree),
+        "max_depth": max(s.max_depth for s in per_tree),
+        "mean_depth": float(np.mean([s.max_depth for s in per_tree])),
+        "mean_leaf_depth": float(np.mean([s.mean_leaf_depth for s in per_tree])),
+        "mean_early_leaf_fraction": float(
+            np.mean([s.early_leaf_fraction for s in per_tree])
+        ),
+        "mean_density": float(np.mean([s.density for s in per_tree])),
+    }

@@ -1,0 +1,120 @@
+"""Depth truncation of trained trees.
+
+Truncating a depth-D tree at depth d < D replaces every depth-d subtree
+with a leaf predicting that subtree's majority class — exactly the tree a
+CART run capped at ``max_depth=d`` would have produced *given the same
+splits*, because greedy split choice at a node does not depend on the depth
+budget below it (stopping rules aside).
+
+This enables a large experimental saving the paper's grid structure
+invites: train one deep forest per dataset and derive every shallower depth
+from it, instead of retraining per depth (Fig. 5's depth axis, Fig. 7's
+depth bands).  It is also a practical deployment knob — the fraud example
+trades depth for latency without retraining.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.tree import LEAF, DecisionTree
+from repro.utils.validation import check_positive_int
+
+
+def _subtree_class_counts(tree: DecisionTree) -> np.ndarray:
+    """Leaf-class weights of the subtree under every node.
+
+    With per-node training-sample counts (recorded by TreeBuilder) each
+    leaf contributes its sample count to its predicted class, so a cut
+    node's majority equals the sample-majority a depth-capped training run
+    would have assigned.  Synthetic trees without counts fall back to
+    unweighted leaves.
+    """
+    counts = np.zeros((tree.n_nodes, tree.n_classes), dtype=np.int64)
+    leaf = tree.feature == LEAF
+    leaf_idx = np.flatnonzero(leaf)
+    if tree.n_samples is not None:
+        counts[leaf_idx, tree.value[leaf]] = tree.n_samples[leaf_idx]
+    else:
+        counts[leaf_idx, tree.value[leaf]] = 1
+    order = np.argsort(tree.depth)[::-1]
+    for node in order:
+        if tree.feature[node] != LEAF:
+            counts[node] = (
+                counts[tree.left_child[node]] + counts[tree.right_child[node]]
+            )
+    return counts
+
+
+def truncate_depth(tree: DecisionTree, max_depth: int) -> DecisionTree:
+    """Return a copy of ``tree`` truncated to ``max_depth`` levels.
+
+    Nodes at ``max_depth`` become leaves labelled with their subtree's
+    majority class.  Node ids are re-compacted; the result validates.
+    """
+    check_positive_int(max_depth, "max_depth", minimum=0)
+    if tree.max_depth <= max_depth:
+        return tree
+    counts = _subtree_class_counts(tree)
+
+    keep = tree.depth <= max_depth
+    new_id = np.full(tree.n_nodes, -1, dtype=np.int64)
+    new_id[keep] = np.arange(int(keep.sum()))
+
+    feature = tree.feature[keep].copy()
+    threshold = tree.threshold[keep].copy()
+    value = tree.value[keep].copy()
+    depth = tree.depth[keep].copy()
+    n_samples = None if tree.n_samples is None else tree.n_samples[keep].copy()
+    left = np.full(feature.shape[0], -1, dtype=np.int32)
+    right = np.full(feature.shape[0], -1, dtype=np.int32)
+
+    cut = tree.depth[keep] == max_depth
+    inner_cut = cut & (tree.feature[keep] != LEAF)
+    # Cut inner nodes become majority leaves.
+    old_ids = np.flatnonzero(keep)
+    maj = counts[old_ids].argmax(axis=1)
+    feature[inner_cut] = LEAF
+    threshold[inner_cut] = 0.0
+    value[inner_cut] = maj[inner_cut]
+
+    survivors = ~cut & (tree.feature[keep] != LEAF)
+    old_inner = old_ids[survivors]
+    left[survivors] = new_id[tree.left_child[old_inner]]
+    right[survivors] = new_id[tree.right_child[old_inner]]
+    value[survivors] = -1
+
+    return DecisionTree(
+        feature=feature,
+        threshold=threshold,
+        left_child=left,
+        right_child=right,
+        value=value,
+        n_classes=tree.n_classes,
+        depth=depth,
+        n_samples=n_samples,
+    )
+
+
+def truncate_forest(
+    forest: RandomForestClassifier, max_depth: int
+) -> RandomForestClassifier:
+    """Truncate every tree of a fitted forest (returns a new forest)."""
+    forest._check_fitted()
+    trees: List[DecisionTree] = [
+        truncate_depth(t, max_depth) for t in forest.trees_
+    ]
+    out = RandomForestClassifier.from_trees(trees, forest.n_features_)
+    out.n_classes_ = forest.n_classes_
+    return out
+
+
+def depth_sweep(
+    forest: RandomForestClassifier, depths: Sequence[int]
+) -> List[RandomForestClassifier]:
+    """One truncated forest per requested depth (descending efficiency:
+    each truncation starts from the original forest)."""
+    return [truncate_forest(forest, d) for d in depths]

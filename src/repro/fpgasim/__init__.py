@@ -1,0 +1,46 @@
+"""Initiation-interval pipeline model of the Alveo U250 (FPGA substitute).
+
+The paper's FPGA results (§3.2.2, §4.4, Table 3) are governed by a small
+algebra: each kernel's inner loop has an initiation interval (II) fixed by
+its loop-carried dependency chain (external-memory loads dominate), total
+time is ``work_items x II / frequency`` plus stalls, and compute-unit (CU)
+replication divides the work while contending for each SLR's external
+memory.  This package implements exactly that algebra:
+
+* :mod:`device` — Alveo U250 constants (4 SLRs, ~13.5 MB on-chip per SLR,
+  4 x 19.2 GB/s DDR4 channels, 300 MHz target).
+* :mod:`pipeline` — II derivation from dependency chains (reproducing the
+  paper's 292 / 76 / 3 cycle IIs) and the stall/contention model.
+* :mod:`replication` — CU x SLR replication configs including the paper's
+  "split" hybrid.
+* :mod:`hls` — kernel descriptions from which II, per-CU resources, maximum
+  CUs per SLR and achievable clock are derived (the paper's 10-vs-12 CU and
+  300-vs-245 MHz facts).
+"""
+
+from repro.fpgasim.device import FPGASpec, ALVEO_U250
+from repro.fpgasim.pipeline import (
+    derive_ii,
+    OP_LATENCIES,
+    PipelineTimer,
+    PipelineResult,
+)
+from repro.fpgasim.replication import Replication
+from repro.fpgasim.hls import (
+    KernelDescription,
+    LoopDescription,
+    PAPER_KERNELS,
+)
+
+__all__ = [
+    "KernelDescription",
+    "LoopDescription",
+    "PAPER_KERNELS",
+    "FPGASpec",
+    "ALVEO_U250",
+    "derive_ii",
+    "OP_LATENCIES",
+    "PipelineTimer",
+    "PipelineResult",
+    "Replication",
+]

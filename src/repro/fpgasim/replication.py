@@ -1,0 +1,57 @@
+"""Compute-unit replication configurations (paper §3.2.2 / §4.4).
+
+The paper replicates compute units within an SLR and across SLRs
+(``xSyC`` = x SLRs with y CUs each), and for the hybrid kernel also builds a
+"split" configuration with one stage-1 CU per SLR feeding replicated stage-2
+CUs.  Replication divides the query workload across CUs; CUs within an SLR
+share that SLR's external-memory channel (the contention model lives in
+:mod:`repro.fpgasim.pipeline`), and heavy replication can lower the
+achievable clock (the paper's split hybrid closes timing at 245 MHz instead
+of 300 MHz) — expressed here as an explicit ``freq_mhz`` override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Replication:
+    """One ``xSyC`` replication configuration."""
+
+    n_slrs: int = 1
+    cus_per_slr: int = 1
+    #: Clock override in MHz (None = device default); models frequency
+    #: derating from routing congestion at high CU counts.
+    freq_mhz: Optional[float] = None
+    #: Hybrid-split mode: one stage-1 CU per SLR, stage 2 replicated.
+    split_stage1: bool = False
+
+    def __post_init__(self):
+        check_positive_int(self.n_slrs, "n_slrs")
+        check_positive_int(self.cus_per_slr, "cus_per_slr")
+        if self.freq_mhz is not None and self.freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
+
+    @property
+    def total_cus(self) -> int:
+        return self.n_slrs * self.cus_per_slr
+
+    @property
+    def label(self) -> str:
+        """Paper-style name, e.g. ``4S12C``."""
+        if self.total_cus == 1:
+            return "1CU"
+        split = " split" if self.split_stage1 else ""
+        return f"{self.n_slrs}S{self.cus_per_slr}C{split}"
+
+
+#: Table 3's configurations.
+SINGLE_CU = Replication()
+FULL_4S12C = Replication(n_slrs=4, cus_per_slr=12)
+HYBRID_SPLIT_4S10C = Replication(
+    n_slrs=4, cus_per_slr=10, freq_mhz=245.0, split_stage1=True
+)

@@ -1,0 +1,48 @@
+"""Trace-driven GPU performance model (Titan Xp substitute).
+
+The paper's GPU results are explained entirely by memory transactions and
+branch divergence (its Fig. 8 uses nvprof's global-load and branch-efficiency
+counters to explain Fig. 7's speedups).  This package provides the substrate
+to reproduce those counters from *real* traversal traces:
+
+* :mod:`device` — hardware constants of the evaluation GPU (Titan Xp).
+* :mod:`metrics` — the counter set kernels accumulate (global/shared loads,
+  transactions, branches, warp occupancy).
+* :mod:`memory` — the 128-byte coalescing model: per-warp distinct-segment
+  counting over actual addresses, plus per-step unique-segment tracking that
+  separates cold (DRAM) from temporally local (L2) traffic.
+* :mod:`cache` — an exact set-associative LRU simulator (for tests and the
+  cache ablation) and the analytic capacity model used by default.
+* :mod:`engine` — warp-lockstep execution helpers shared by the kernels.
+* :mod:`timing` — converts counters into cycles/seconds with a
+  bandwidth/compute roofline.
+
+Kernels in :mod:`repro.kernels` execute *functionally* (they really classify
+the queries; results are asserted equal to the CPU reference) while streaming
+their addresses through this model.
+"""
+
+from repro.gpusim.device import GPUSpec, TITAN_XP
+from repro.gpusim.metrics import KernelMetrics
+from repro.gpusim.memory import warp_transactions, CoalescingTracker
+from repro.gpusim.cache import LRUCacheSim, CacheConfig
+from repro.gpusim.engine import WarpGrid
+from repro.gpusim.timing import TimingModel, KernelTiming
+from repro.gpusim.trace import TraceLog, ReplayResult, replay_trace, analytic_vs_exact
+
+__all__ = [
+    "TraceLog",
+    "ReplayResult",
+    "replay_trace",
+    "analytic_vs_exact",
+    "GPUSpec",
+    "TITAN_XP",
+    "KernelMetrics",
+    "warp_transactions",
+    "CoalescingTracker",
+    "LRUCacheSim",
+    "CacheConfig",
+    "WarpGrid",
+    "TimingModel",
+    "KernelTiming",
+]

@@ -1,0 +1,111 @@
+"""Cache models: an exact set-associative LRU simulator plus helpers.
+
+The default pipeline uses the analytic compulsory-miss + capacity-discount
+model (see :mod:`.memory` and :mod:`.timing`); this module provides the
+*exact* simulator used to validate that approximation in tests and in the
+``bench_ablation_cache`` benchmark, and available to users who want
+trace-accurate hit rates on small workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 128
+    associativity: int = 16
+
+    def __post_init__(self):
+        check_positive_int(self.size_bytes, "size_bytes")
+        check_positive_int(self.line_bytes, "line_bytes")
+        check_positive_int(self.associativity, "associativity")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "size_bytes must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+class LRUCacheSim:
+    """Exact set-associative LRU cache over a stream of line addresses.
+
+    The simulator is deliberately simple (single level, no MSHRs or
+    sectoring): its role is to ground-truth the analytic model's DRAM-byte
+    estimates, not to model a specific chip cycle-accurately.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets = [dict() for _ in range(config.n_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access_line(self, line: int) -> bool:
+        """Access one cache line id; returns True on hit."""
+        s = self._sets[line % self.config.n_sets]
+        self._clock += 1
+        if line in s:
+            s[line] = self._clock
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.config.associativity:
+            victim = min(s, key=s.get)
+            del s[victim]
+        s[line] = self._clock
+        return False
+
+    def access_addresses(self, addresses: Iterable[int]) -> Tuple[int, int]:
+        """Access byte addresses in order; returns (hits, misses) delta."""
+        h0, m0 = self.hits, self.misses
+        line_bytes = self.config.line_bytes
+        for a in np.asarray(list(addresses), dtype=np.int64):
+            self.access_line(int(a) // line_bytes)
+        return self.hits - h0, self.misses - m0
+
+    def access_segments(self, segments: np.ndarray) -> Tuple[int, int]:
+        """Access pre-computed line/segment ids in order."""
+        h0, m0 = self.hits, self.misses
+        for s in np.asarray(segments, dtype=np.int64):
+            self.access_line(int(s))
+        return self.hits - h0, self.misses - m0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Clear contents and counters."""
+        self._sets = [dict() for _ in range(self.config.n_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+
+def capacity_miss_fraction(footprint_bytes: int, cache_bytes: int) -> float:
+    """Analytic fraction of *reuse* accesses that miss due to capacity.
+
+    Random-replacement approximation: with a working set ``W`` on a cache of
+    size ``C``, a reuse access finds its line resident with probability
+    ``min(1, C / W)``.  Returns the miss probability ``max(0, 1 - C/W)``.
+    """
+    if footprint_bytes <= 0:
+        return 0.0
+    if cache_bytes <= 0:
+        return 1.0
+    return max(0.0, 1.0 - cache_bytes / footprint_bytes)

@@ -1,0 +1,131 @@
+"""GPU hardware specifications.
+
+The paper evaluates on a Pascal TITAN Xp: 30 SMs x 128 cores, 48 KB shared
+memory per SM (the constraint the paper cites for the hybrid kernel's root
+subtree), ~547.5 GB/s peak memory bandwidth (the figure the paper quotes in
+§4.5), 3 MB L2.  All model constants live here so the timing model is a pure
+function of (spec, counters) and alternative devices can be plugged in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Hardware constants consumed by the coalescing and timing models."""
+
+    name: str
+    n_sms: int
+    cores_per_sm: int
+    warp_size: int
+    #: Warp instructions each SM can issue per cycle (schedulers).
+    issue_per_sm: int
+    clock_ghz: float
+    #: Bytes per global-memory transaction (coalescing granularity).
+    transaction_bytes: int
+    shared_mem_per_sm: int
+    l1_bytes_per_sm: int
+    l2_bytes: int
+    #: Peak DRAM bandwidth, bytes/second.
+    mem_bandwidth: float
+    #: Aggregate L2-to-SM bandwidth, bytes/second (≈ 2x DRAM on Pascal).
+    l2_bandwidth: float
+    #: Shared-memory aggregate bandwidth, bytes/second.
+    shared_bandwidth: float
+    #: Peak rate at which the L2/DRAM path can *issue* memory transactions,
+    #: transactions/second.  Scattered traversals are bound by this rather
+    #: than by bytes (each 128 B transaction carries only 4-8 useful bytes).
+    mem_transactions_per_s: float
+    #: Fixed kernel-launch + driver overhead per kernel, seconds.
+    launch_overhead_s: float
+    #: Threads per block used by the paper-style kernels.
+    threads_per_block: int = 256
+    #: Physical shared memory per SM for occupancy purposes (GP102 has
+    #: 96 KB per SM; a single block may use at most shared_mem_per_sm).
+    shared_mem_per_sm_total: int = 96 * 1024
+
+    def __post_init__(self):
+        if self.warp_size <= 0 or self.transaction_bytes <= 0:
+            raise ValueError("warp_size and transaction_bytes must be positive")
+        if self.threads_per_block % self.warp_size:
+            raise ValueError("threads_per_block must be a multiple of warp_size")
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.threads_per_block // self.warp_size
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_sms * self.cores_per_sm
+
+    @property
+    def peak_warp_issue_rate(self) -> float:
+        """Warp-instructions per second across the whole device."""
+        return self.n_sms * self.issue_per_sm * self.clock_ghz * 1e9
+
+
+#: The paper's evaluation GPU (§4: 30 SMs, 128 cores/SM, 48 KB shared/SM;
+#: §4.5: ~547.5 GB/s).  L2 = 3 MB (GP102), boost clock ~1.58 GHz.
+TITAN_XP = GPUSpec(
+    name="TITAN Xp",
+    n_sms=30,
+    cores_per_sm=128,
+    warp_size=32,
+    issue_per_sm=4,
+    clock_ghz=1.58,
+    transaction_bytes=128,
+    shared_mem_per_sm=48 * 1024,
+    l1_bytes_per_sm=48 * 1024,
+    l2_bytes=3 * 1024 * 1024,
+    mem_bandwidth=547.5e9,
+    l2_bandwidth=1100e9,
+    shared_bandwidth=8000e9,
+    mem_transactions_per_s=2.2e9,
+    launch_overhead_s=5e-6,
+)
+
+
+#: A smaller Pascal part (GTX 1080-class): fewer SMs, less bandwidth.  Used
+#: by the device-sensitivity ablation to check that the paper's kernel
+#: ordering is not an artifact of one device's constants.
+GTX_1080 = GPUSpec(
+    name="GTX 1080",
+    n_sms=20,
+    cores_per_sm=128,
+    warp_size=32,
+    issue_per_sm=4,
+    clock_ghz=1.73,
+    transaction_bytes=128,
+    shared_mem_per_sm=48 * 1024,
+    l1_bytes_per_sm=48 * 1024,
+    l2_bytes=2 * 1024 * 1024,
+    mem_bandwidth=320e9,
+    l2_bandwidth=650e9,
+    shared_bandwidth=5200e9,
+    mem_transactions_per_s=1.3e9,
+    launch_overhead_s=5e-6,
+    shared_mem_per_sm_total=96 * 1024,
+)
+
+#: A Volta-class data-centre part (V100-like): more SMs, HBM bandwidth,
+#: larger L2 and shared memory.
+V100_LIKE = GPUSpec(
+    name="V100-like",
+    n_sms=80,
+    cores_per_sm=64,
+    warp_size=32,
+    issue_per_sm=4,
+    clock_ghz=1.53,
+    transaction_bytes=128,
+    shared_mem_per_sm=96 * 1024,
+    l1_bytes_per_sm=128 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+    mem_bandwidth=900e9,
+    l2_bandwidth=2100e9,
+    shared_bandwidth=13800e9,
+    mem_transactions_per_s=4.0e9,
+    launch_overhead_s=5e-6,
+    shared_mem_per_sm_total=96 * 1024,
+)

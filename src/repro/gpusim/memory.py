@@ -1,0 +1,178 @@
+"""Coalescing and locality accounting over real address streams.
+
+Two pieces:
+
+* :func:`warp_transactions` — the CUDA coalescing rule: a warp's load is
+  split into one transaction per distinct ``transaction_bytes``-sized
+  segment touched by its active lanes.
+* :class:`CoalescingTracker` — accumulates, for one load *site* (array), the
+  per-step transaction counts plus the cold/unique segment counts the
+  analytic cache model uses to split traffic into DRAM vs. on-chip (L2).
+
+The cold/on-chip split counts *compulsory* misses exactly: a segment's first
+touch anywhere in the kernel is cold (DRAM), every repeat is potentially
+served on-chip.  Capacity effects are applied afterwards by the timing model,
+which discounts the on-chip share by the footprint-vs-L2-size ratio (random
+replacement approximation).  The exact LRU simulator in :mod:`.cache`
+validates this approximation in the test suite and the cache ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.metrics import KernelMetrics
+
+#: Sentinel placed in inactive lanes before segment sorting.
+_SENTINEL = np.int64(np.iinfo(np.int64).max)
+
+
+def warp_transactions(
+    addresses: np.ndarray,
+    active: Optional[np.ndarray] = None,
+    transaction_bytes: int = 128,
+    warp_size: int = 32,
+) -> Tuple[int, int, np.ndarray]:
+    """Apply the coalescing rule to a batch of per-lane byte addresses.
+
+    Parameters
+    ----------
+    addresses:
+        ``int64[n]`` byte addresses, one per lane/query, in lane order
+        (lane ``i`` of warp ``w`` is element ``w * warp_size + i``).  The
+        array is padded internally to a multiple of ``warp_size``.
+    active:
+        Optional ``bool[n]`` mask; inactive lanes issue no access.
+    transaction_bytes, warp_size:
+        Coalescing granularity and lanes per warp.
+
+    Returns
+    -------
+    ``(requests, transactions, unique_segments)`` where ``requests`` is the
+    number of warps with at least one active lane, ``transactions`` the total
+    coalesced transaction count, and ``unique_segments`` the sorted distinct
+    segment ids across the whole batch (for cold-miss accounting).
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.ndim != 1:
+        raise ValueError("addresses must be 1-D (lane order)")
+    n = addresses.shape[0]
+    if n == 0:
+        return 0, 0, np.empty(0, dtype=np.int64)
+    segs = addresses // transaction_bytes
+    if active is not None:
+        active = np.asarray(active, dtype=bool)
+        if active.shape[0] != n:
+            raise ValueError("active mask length mismatch")
+        segs = np.where(active, segs, _SENTINEL)
+    pad = (-n) % warp_size
+    if pad:
+        segs = np.concatenate([segs, np.full(pad, _SENTINEL, dtype=np.int64)])
+    grid = segs.reshape(-1, warp_size)
+    grid = np.sort(grid, axis=1)
+    # New segment when it differs from its left neighbour (and is real).
+    first = grid[:, :1] != _SENTINEL
+    diffs = (grid[:, 1:] != grid[:, :-1]) & (grid[:, 1:] != _SENTINEL)
+    per_warp = first.sum(axis=1) + diffs.sum(axis=1)
+    transactions = int(per_warp.sum())
+    requests = int(np.count_nonzero(per_warp))
+    real = segs[segs != _SENTINEL]
+    unique = np.unique(real)
+    return requests, transactions, unique
+
+
+@dataclass
+class CoalescingTracker:
+    """Accumulates coalescing + cold-segment stats for one load site.
+
+    A kernel creates one tracker per global array it reads (node attributes,
+    children arrays, query matrix, ...) and calls :meth:`record` once per
+    lock-step level with the lanes' byte addresses.  ``metrics`` is updated
+    in place; per-site totals stay available for reports.
+    """
+
+    name: str
+    metrics: KernelMetrics
+    transaction_bytes: int = 128
+    warp_size: int = 32
+    #: element size of the underlying array (bytes); used by reports only.
+    element_bytes: int = 4
+    #: Thread-private data with high line reuse (e.g. each thread re-reads
+    #: its own query row every level): reuse transactions are served by the
+    #: per-SM L1 and excluded from the L2/DRAM path by the timing model.
+    l1_resident: bool = False
+    #: Relative issue cost per transaction.  1.0 = an ordinary scattered
+    #: load; dependent pointer-chase loads (CSR's children_arr_idx ->
+    #: children_arr chain) cost more because the warp cannot overlap them,
+    #: cutting memory-level parallelism; L1-resident reuse costs ~nothing.
+    issue_cost: float = 1.0
+    #: Fraction of this site's transactions served by the per-SM L1
+    #: (discounted from the issue roof).  Kernel-dependent: the hybrid
+    #: kernel synchronises every block on one tree at a time so its L1
+    #: stays hot on that tree's nodes (paper §3.2.1: "nodes from subsequent
+    #: subtrees will also be less likely to be evicted from the L1 cache"),
+    #: while the independent kernel's warps drift across trees and thrash
+    #: it.  Values are calibrated against the paper's Fig. 7 bands.
+    l1_hit_rate: float = 0.0
+    L1_ISSUE_COST = 0.15
+    requests: int = 0
+    transactions: int = 0
+    cold_transactions: int = 0
+    #: distinct segments seen over the whole kernel (footprint estimate).
+    _seen: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def record(
+        self, addresses: np.ndarray, active: Optional[np.ndarray] = None
+    ) -> None:
+        """Record one lock-step round of loads from this site."""
+        req, txn, unique = warp_transactions(
+            addresses, active, self.transaction_bytes, self.warp_size
+        )
+        if req == 0:
+            return
+        # Cold segments: not seen in any earlier step of this kernel.
+        if self._seen is None:
+            cold = unique.shape[0]
+            self._seen = unique
+        else:
+            fresh = unique[~_isin_sorted(unique, self._seen)]
+            cold = fresh.shape[0]
+            if cold:
+                self._seen = np.union1d(self._seen, fresh)
+        if self.metrics.trace is not None:
+            self.metrics.trace.append(self.name, unique)
+        self.requests += req
+        self.transactions += txn
+        self.cold_transactions += cold
+        self.metrics.global_load_requests += req
+        self.metrics.global_load_transactions += txn
+        self.metrics.dram_transactions += cold
+        self.metrics.footprint_bytes += cold * self.transaction_bytes
+        if self.l1_resident:
+            self.metrics.l1_transactions += txn - cold
+            self.metrics.issue_weighted_transactions += (
+                cold * self.issue_cost + (txn - cold) * self.L1_ISSUE_COST
+            )
+        else:
+            self.metrics.issue_weighted_transactions += (
+                txn * self.issue_cost * (1.0 - self.l1_hit_rate)
+            )
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Distinct bytes touched through this site (segment granularity)."""
+        if self._seen is None:
+            return 0
+        return int(self._seen.shape[0]) * self.transaction_bytes
+
+
+def _isin_sorted(values: np.ndarray, sorted_haystack: np.ndarray) -> np.ndarray:
+    """``np.isin`` specialised for a sorted haystack (O(n log m))."""
+    if sorted_haystack.shape[0] == 0:
+        return np.zeros(values.shape[0], dtype=bool)
+    pos = np.searchsorted(sorted_haystack, values)
+    pos = np.clip(pos, 0, sorted_haystack.shape[0] - 1)
+    return sorted_haystack[pos] == values

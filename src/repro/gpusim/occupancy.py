@@ -1,0 +1,73 @@
+"""SM occupancy calculator.
+
+How many thread blocks can be resident on one SM, given the block's
+resource appetite — the standard CUDA occupancy computation restricted to
+the two resources that matter for these kernels: threads and shared memory.
+The collaborative kernel's full-48 KB batches force one block per SM (its
+block-serial critical path cannot be hidden); the hybrid kernel's root
+subtree has the same effect once ``RSD`` grows past ~11 at 8 bytes/slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import GPUSpec
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency summary for one kernel configuration."""
+
+    blocks_per_sm: int
+    limited_by: str
+    #: Resident warps per SM (out of the architectural max).
+    warps_per_sm: int
+    #: Fraction of the device's peak concurrency achieved with ``n_blocks``.
+    def device_fill(self, n_blocks: int, spec: GPUSpec) -> float:
+        capacity = self.blocks_per_sm * spec.n_sms
+        return min(1.0, n_blocks / capacity) if capacity else 0.0
+
+    def waves(self, n_blocks: int, spec: GPUSpec) -> int:
+        """Sequential block waves needed to run ``n_blocks``."""
+        capacity = max(1, self.blocks_per_sm * spec.n_sms)
+        return -(-n_blocks // capacity)
+
+
+#: Architectural ceilings (Pascal): resident threads and blocks per SM.
+MAX_THREADS_PER_SM = 2048
+MAX_BLOCKS_PER_SM = 32
+
+
+def occupancy(
+    spec: GPUSpec,
+    shared_bytes_per_block: int = 0,
+    threads_per_block: int = None,
+) -> Occupancy:
+    """Compute blocks/SM for a block using the given resources."""
+    if threads_per_block is None:
+        threads_per_block = spec.threads_per_block
+    check_positive_int(threads_per_block, "threads_per_block")
+    if shared_bytes_per_block < 0:
+        raise ValueError("shared_bytes_per_block must be non-negative")
+    if shared_bytes_per_block > spec.shared_mem_per_sm:
+        raise ValueError(
+            f"block needs {shared_bytes_per_block} B shared, SM has "
+            f"{spec.shared_mem_per_sm} B"
+        )
+
+    by_threads = MAX_THREADS_PER_SM // threads_per_block
+    by_blocks = MAX_BLOCKS_PER_SM
+    if shared_bytes_per_block > 0:
+        by_shared = spec.shared_mem_per_sm_total // shared_bytes_per_block
+    else:
+        by_shared = by_blocks
+    blocks = max(0, min(by_threads, by_blocks, by_shared))
+    limits = {"threads": by_threads, "blocks": by_blocks, "shared": by_shared}
+    limited_by = min(limits, key=limits.get)
+    return Occupancy(
+        blocks_per_sm=blocks,
+        limited_by=limited_by,
+        warps_per_sm=blocks * (threads_per_block // spec.warp_size),
+    )

@@ -1,0 +1,131 @@
+"""Counter -> time conversion (roofline with an L2 capacity correction).
+
+The traversal kernels are memory-bound on real hardware (the paper's whole
+design story is about reducing and coalescing global loads), so the model
+computes the time each subsystem would need to service the kernel's recorded
+traffic and takes the maximum:
+
+* DRAM: compulsory (first-touch) transactions plus the capacity-miss share
+  of reuse traffic, at peak DRAM bandwidth.
+* L2: the remaining reuse traffic at L2 bandwidth.
+* Shared memory: staged-bank traffic at shared-memory bandwidth.
+* Compute: warp instructions at the device's peak issue rate — this is where
+  divergence hurts, because inactive lanes still consume issue slots.
+
+Per-launch overhead is added on top.  Absolute numbers are a model, not a
+measurement; the experiments compare *ratios* between kernels that share the
+same model, which is also how the paper reports its results (speedup vs CSR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.gpusim.cache import capacity_miss_fraction
+from repro.gpusim.device import GPUSpec
+from repro.gpusim.metrics import KernelMetrics
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one simulated kernel."""
+
+    seconds: float
+    compute_s: float
+    dram_s: float
+    l2_s: float
+    txn_s: float
+    shared_s: float
+    overhead_s: float
+    #: Which component bound the kernel ("dram", "l2", "compute", "shared").
+    bound_by: str
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "seconds": self.seconds,
+            "compute_s": self.compute_s,
+            "dram_s": self.dram_s,
+            "l2_s": self.l2_s,
+            "txn_s": self.txn_s,
+            "shared_s": self.shared_s,
+            "overhead_s": self.overhead_s,
+            "bound_by": self.bound_by,
+        }
+
+
+class TimingModel:
+    """Converts :class:`KernelMetrics` into seconds for a given device."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        l2_capacity_correction: bool = True,
+        #: Average issue cycles per counted warp instruction (model fudge
+        #: factor; 1.0 = every instruction single-issues at peak).
+        cycles_per_instruction: float = 1.0,
+    ):
+        self.spec = spec
+        self.l2_capacity_correction = bool(l2_capacity_correction)
+        if cycles_per_instruction <= 0:
+            raise ValueError("cycles_per_instruction must be positive")
+        self.cycles_per_instruction = float(cycles_per_instruction)
+
+    # ------------------------------------------------------------------
+    def time(self, metrics: KernelMetrics) -> KernelTiming:
+        """Apply the roofline to one kernel's counters."""
+        metrics.validate()
+        spec = self.spec
+        txn_bytes = spec.transaction_bytes
+
+        reuse_txn = metrics.l2_transactions
+        # Reuse served by per-SM L1 (thread-private rows) never reaches the
+        # L2/DRAM path.
+        l1_txn = min(metrics.l1_transactions, reuse_txn)
+        reuse_txn -= l1_txn
+        if self.l2_capacity_correction:
+            p_miss = capacity_miss_fraction(metrics.footprint_bytes, spec.l2_bytes)
+        else:
+            p_miss = 0.0
+        dram_txn = metrics.dram_transactions + reuse_txn * p_miss
+        l2_txn = reuse_txn * (1.0 - p_miss)
+
+        dram_s = dram_txn * txn_bytes / spec.mem_bandwidth
+        l2_s = l2_txn * txn_bytes / spec.l2_bandwidth
+        # Scattered traversals are bound by how fast the L2/DRAM path can
+        # *issue* transactions, not by bytes: each transaction carries only
+        # 4-8 useful bytes.  Sites weight their transactions by memory-level
+        # parallelism (dependent chains cost more, L1 reuse almost nothing);
+        # see CoalescingTracker.issue_cost.
+        txn_s = metrics.issue_weighted_transactions / spec.mem_transactions_per_s
+        # A shared load request moves up to warp_size * 4 bytes; model the
+        # full-width case (the kernels load 4-byte node attributes).
+        shared_bytes = metrics.shared_load_requests * spec.warp_size * 4
+        shared_bytes += metrics.bytes_staged_shared  # write side of staging
+        shared_s = shared_bytes / spec.shared_bandwidth
+        compute_s = (
+            metrics.warp_instructions
+            * self.cycles_per_instruction
+            / spec.peak_warp_issue_rate
+        )
+        overhead_s = metrics.launches * spec.launch_overhead_s
+
+        parts = {
+            "dram": dram_s,
+            "l2": l2_s,
+            "txn": txn_s,
+            "shared": shared_s,
+            "compute": compute_s,
+        }
+        bound_by = max(parts, key=parts.get)
+        seconds = max(parts.values()) + overhead_s
+        return KernelTiming(
+            seconds=seconds,
+            compute_s=compute_s,
+            dram_s=dram_s,
+            l2_s=l2_s,
+            txn_s=txn_s,
+            shared_s=shared_s,
+            overhead_s=overhead_s,
+            bound_by=bound_by,
+        )

@@ -1,0 +1,118 @@
+"""Address-trace recording and exact cache replay.
+
+The default timing pipeline uses the analytic compulsory + capacity cache
+model; for validation (and for users who want trace-accurate hit rates on
+small workloads) kernels can record their actual segment-access sequence and
+replay it through the exact :class:`~repro.gpusim.cache.LRUCacheSim`:
+
+    kernel = GPUIndependentKernel(record_trace=True)
+    result = kernel.run(layout, X)
+    replay = replay_trace(kernel.trace, CacheConfig(size_bytes=3 << 20))
+    print(replay.miss_rate, "vs analytic", ...)
+
+One trace event is recorded per load site per lock-step level, holding the
+*deduplicated* segments of that step (within a step, all queries issue
+before any advances, so intra-step repeats hit trivially; recording the
+unique set keeps traces compact without changing replay misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.gpusim.cache import CacheConfig, LRUCacheSim
+
+
+@dataclass
+class TraceLog:
+    """Ordered per-step segment accesses across all load sites."""
+
+    events: List[Tuple[str, np.ndarray]] = field(default_factory=list)
+
+    def append(self, site: str, segments: np.ndarray) -> None:
+        if segments.size:
+            self.events.append((site, segments))
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(seg.size for _, seg in self.events)
+
+    def segments_flat(self) -> np.ndarray:
+        """All segment ids, in access order."""
+        if not self.events:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([seg for _, seg in self.events])
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a trace through the exact cache."""
+
+    hits: int
+    misses: int
+    per_site_misses: Dict[str, int]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate
+
+
+def replay_trace(trace: TraceLog, config: CacheConfig) -> ReplayResult:
+    """Replay a recorded trace through an exact LRU cache."""
+    cache = LRUCacheSim(config)
+    per_site: Dict[str, int] = {}
+    for site, segments in trace.events:
+        _, misses = cache.access_segments(segments)
+        per_site[site] = per_site.get(site, 0) + misses
+    return ReplayResult(
+        hits=cache.hits, misses=cache.misses, per_site_misses=per_site
+    )
+
+
+def analytic_vs_exact(
+    trace: TraceLog,
+    footprint_bytes: int,
+    cache_bytes: int,
+    line_bytes: int = 128,
+) -> Dict[str, float]:
+    """Compare the analytic DRAM estimate against an exact replay.
+
+    Returns both miss counts plus their ratio; the test suite bounds the
+    ratio to certify the analytic model (DESIGN.md §6 ablation).
+    """
+    from repro.gpusim.cache import capacity_miss_fraction
+
+    replay = replay_trace(
+        trace,
+        CacheConfig(size_bytes=cache_bytes, line_bytes=line_bytes,
+                    associativity=16),
+    )
+    total = trace.total_accesses
+    unique = int(np.unique(trace.segments_flat()).size)
+    reuse = total - unique
+    p_miss = capacity_miss_fraction(footprint_bytes, cache_bytes)
+    analytic_misses = unique + reuse * p_miss
+    return {
+        "accesses": total,
+        "unique_segments": unique,
+        "exact_misses": replay.misses,
+        "exact_miss_rate": replay.miss_rate,
+        "analytic_misses": analytic_misses,
+        "analytic_miss_rate": analytic_misses / total if total else 0.0,
+        "ratio": analytic_misses / replay.misses if replay.misses else 1.0,
+    }

@@ -1,0 +1,43 @@
+"""The paper's RF classification code variants (§3.2), GPU and FPGA.
+
+GPU kernels (simulated on :mod:`repro.gpusim`):
+
+* :class:`GPUCSRKernel` — baseline CSR traversal (one thread per query).
+* :class:`GPUIndependentKernel` — hierarchical layout, per-thread traversal.
+* :class:`GPUCollaborativeKernel` — subtree batches staged in shared memory,
+  all queries pushed through every subtree (the paper keeps it for analysis;
+  it is 10-20x slower than independent).
+* :class:`GPUHybridKernel` — root subtree staged in shared memory (stage 1),
+  independent traversal below (stage 2); the paper's best GPU variant.
+
+FPGA kernels (simulated on :mod:`repro.fpgasim`): the same four variants as
+pipeline cost models with the paper's initiation intervals.
+
+Every kernel executes *functionally*: it really classifies the queries, and
+tests assert the predictions equal the CPU reference, so the performance
+counters are derived from genuine traversal traces.
+"""
+
+from repro.kernels.base import GPUKernel, GPUKernelResult, AddressSpace
+from repro.kernels.gpu_csr import GPUCSRKernel
+from repro.kernels.gpu_independent import GPUIndependentKernel
+from repro.kernels.gpu_collaborative import GPUCollaborativeKernel
+from repro.kernels.gpu_hybrid import GPUHybridKernel
+from repro.kernels.fpga_csr import FPGACSRKernel
+from repro.kernels.fpga_independent import FPGAIndependentKernel
+from repro.kernels.fpga_collaborative import FPGACollaborativeKernel
+from repro.kernels.fpga_hybrid import FPGAHybridKernel
+
+__all__ = [
+    "GPUKernel",
+    "GPUKernelResult",
+    "AddressSpace",
+    "GPUCSRKernel",
+    "GPUIndependentKernel",
+    "GPUCollaborativeKernel",
+    "GPUHybridKernel",
+    "FPGACSRKernel",
+    "FPGAIndependentKernel",
+    "FPGACollaborativeKernel",
+    "FPGAHybridKernel",
+]

@@ -1,0 +1,76 @@
+"""Common infrastructure for the simulated FPGA kernels.
+
+Each FPGA kernel classifies the queries functionally (votes come from the
+same traversal statistics pass used for work-item counting) and produces a
+:class:`FPGAKernelResult` holding the pipeline timing under a given
+:class:`~repro.fpgasim.replication.Replication` configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fpgasim.device import ALVEO_U250, FPGASpec
+from repro.fpgasim.pipeline import PipelineResult, PipelineTimer
+from repro.fpgasim.replication import Replication
+from repro.utils.validation import check_array_2d
+
+
+@dataclass
+class FPGAKernelResult:
+    """Outcome of one simulated FPGA kernel run."""
+
+    predictions: np.ndarray
+    votes: np.ndarray
+    pipeline: PipelineResult
+
+    @property
+    def seconds(self) -> float:
+        return self.pipeline.seconds
+
+    @property
+    def stall_pct(self) -> float:
+        return self.pipeline.stall_pct
+
+    def summary(self) -> Dict[str, float]:
+        return self.pipeline.as_dict()
+
+
+class FPGAKernel(ABC):
+    """Base class for the FPGA code variants."""
+
+    name: str = "fpga-base"
+
+    def __init__(self, spec: FPGASpec = ALVEO_U250):
+        self.spec = spec
+        self.timer = PipelineTimer(spec)
+
+    def run(
+        self,
+        layout,
+        X: np.ndarray,
+        replication: Replication = Replication(),
+    ) -> FPGAKernelResult:
+        """Classify ``X`` and time the pipeline under ``replication``."""
+        X = check_array_2d(X, "X")
+        votes = np.zeros((X.shape[0], layout.n_classes), dtype=np.int64)
+        pipeline = self._run(layout, X, replication, votes)
+        return FPGAKernelResult(
+            predictions=votes.argmax(axis=1), votes=votes, pipeline=pipeline
+        )
+
+    @abstractmethod
+    def _run(
+        self, layout, X: np.ndarray, replication: Replication, votes: np.ndarray
+    ) -> PipelineResult:
+        """Accumulate votes and return the pipeline timing."""
+
+    @staticmethod
+    def _accumulate_votes(votes: np.ndarray, labels: np.ndarray) -> None:
+        if np.any(labels < 0):
+            raise RuntimeError("traversal left some queries unclassified")
+        votes[np.arange(labels.shape[0]), labels] += 1

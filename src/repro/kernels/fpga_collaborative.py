@@ -1,0 +1,73 @@
+"""FPGA collaborative kernel (paper Table 3 "Collaborative").
+
+Each subtree is burst-loaded into BRAM/URAM and *all* queries are pushed
+through its pipeline whether they traverse it or not, achieving a very low
+II (3 cycles, everything on-chip) but paying two structural costs the paper
+identifies:
+
+* **Starvation**: pipeline slots are occupied by queries not present in the
+  subtree — work items are ``n_queries x sum(levels of every subtree)``,
+  which grows with depth while useful work shrinks as ``2^-s``.
+* **Query-state round trip**: between subtrees each query's state (current
+  subtree, node, progress) lives in external memory; the load->update->store
+  dependency adds ~``2 x ext_load_latency`` serial cycles per (query,
+  subtree) pair.  This term is what drives the paper's measured ~90% stall.
+
+Together these make the collaborative variant the slowest despite its
+best-in-class II — the paper's headline observation for this kernel.
+"""
+
+from __future__ import annotations
+
+from repro.fpgasim.pipeline import derive_ii
+from repro.fpgasim.replication import Replication
+from repro.kernels.fpga_base import FPGAKernel
+from repro.kernels.traversal_stats import traverse_tree_stats, subtree_level_totals
+from repro.layout.hierarchical import HierarchicalForest
+
+
+class FPGACollaborativeKernel(FPGAKernel):
+    """Burst-loaded subtrees, all queries through every subtree."""
+
+    name = "fpga-collaborative"
+    #: Fully on-chip chain: BRAM node + compare = 3.
+    II_CHAIN = ("bram_load", "compare")
+    #: External round trips of query state per (query, subtree) pair.
+    STATE_ROUNDTRIPS = 2.0
+
+    def _run(self, layout: HierarchicalForest, X, replication: Replication, votes):
+        if not isinstance(layout, HierarchicalForest):
+            raise TypeError("FPGACollaborativeKernel expects a HierarchicalForest")
+        n = X.shape[0]
+        work_items = 0
+        state_pairs = 0
+        for t in range(layout.n_trees):
+            stats = traverse_tree_stats(layout, X, t)
+            self._accumulate_votes(votes, stats.labels)
+            levels = subtree_level_totals(layout, t)
+            work_items += n * levels
+            first = int(layout.tree_root_subtree[t])
+            last = (
+                int(layout.tree_root_subtree[t + 1])
+                if t + 1 < layout.n_trees
+                else layout.n_subtrees
+            )
+            state_pairs += n * (last - first)
+        ii = derive_ii(self.II_CHAIN, self.spec)
+        serial_per_item = (
+            self.STATE_ROUNDTRIPS
+            * self.spec.ext_load_latency
+            * state_pairs
+            / max(1, work_items)
+        )
+        # Burst-staging every subtree once per run (bandwidth bytes).
+        stage_bytes = layout.total_slots * 8
+        return self.timer.time(
+            work_items=work_items,
+            ii=ii,
+            replication=replication,
+            random_accesses_per_item=0.0,
+            stream_bytes_per_item=stage_bytes / max(1, work_items),
+            extra_stall_cycles_per_item=serial_per_item,
+            launches=layout.n_subtrees,
+        )

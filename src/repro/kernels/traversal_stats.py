@@ -1,0 +1,111 @@
+"""Uninstrumented traversal statistics used by the FPGA cost models.
+
+The FPGA pipeline algebra needs work-item counts rather than addresses:
+per query-tree path length (= inner-loop iterations), subtree crossings
+(= extra external accesses) and the number of levels walked inside the root
+subtree (= hybrid stage-1 items).  This module computes all of them in one
+vectorised pass over the hierarchical layout, together with the predicted
+labels so FPGA kernels stay functional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.forest.tree import EMPTY, LEAF
+from repro.layout.hierarchical import HierarchicalForest
+
+
+@dataclass
+class TreeTraversalStats:
+    """Per-query traversal statistics for one tree."""
+
+    #: Nodes visited (inner-loop iterations), per query.
+    path_lengths: np.ndarray
+    #: Subtree-to-subtree crossings, per query.
+    crossings: np.ndarray
+    #: Steps taken inside the root subtree (hybrid stage 1), per query.
+    stage1_levels: np.ndarray
+    #: Predicted class label, per query.
+    labels: np.ndarray
+
+    @property
+    def total_visits(self) -> int:
+        return int(self.path_lengths.sum())
+
+    @property
+    def total_crossings(self) -> int:
+        return int(self.crossings.sum())
+
+    @property
+    def total_stage1(self) -> int:
+        return int(self.stage1_levels.sum())
+
+
+def traverse_tree_stats(
+    layout: HierarchicalForest, X: np.ndarray, tree: int
+) -> TreeTraversalStats:
+    """Traverse tree ``tree`` for all queries, counting work items."""
+    X = np.ascontiguousarray(X, dtype=np.float32)
+    n = X.shape[0]
+    root = int(layout.tree_root_subtree[tree])
+    st = np.full(n, root, dtype=np.int64)
+    local = np.zeros(n, dtype=np.int64)
+    out = np.full(n, -1, dtype=np.int64)
+    path = np.zeros(n, dtype=np.int64)
+    crossings = np.zeros(n, dtype=np.int64)
+    stage1 = np.zeros(n, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    rows = np.arange(n)
+    while np.any(active):
+        g = layout.subtree_node_offset[st] + local
+        feats = np.where(active, layout.feature_id[g], EMPTY)
+        path[active] += 1
+        in_root = active & (st == root)
+        stage1[in_root] += 1
+        is_leaf = active & (feats == LEAF)
+        inner = active & ~is_leaf
+        if np.any(is_leaf):
+            out[is_leaf] = layout.value[g[is_leaf]].astype(np.int64)
+        if np.any(inner):
+            gi = g[inner]
+            go_right = X[rows[inner], feats[inner]] >= layout.value[gi]
+            sd = layout.subtree_depth[st[inner]]
+            frontier_start = (np.int64(1) << (sd - 1).astype(np.int64)) - 1
+            crossing_local = local[inner] >= frontier_start
+            idx = np.flatnonzero(inner)
+            stay = idx[~crossing_local]
+            cross = idx[crossing_local]
+            local[stay] = 2 * local[stay] + 1 + go_right[~crossing_local]
+            if cross.size:
+                rank = local[cross] - frontier_start[crossing_local]
+                cidx = (
+                    layout.connection_offset[st[cross]]
+                    + 2 * rank
+                    + go_right[crossing_local]
+                )
+                st[cross] = layout.subtree_connection[cidx].astype(np.int64)
+                local[cross] = 0
+                crossings[cross] += 1
+        active = inner
+    return TreeTraversalStats(
+        path_lengths=path, crossings=crossings, stage1_levels=stage1, labels=out
+    )
+
+
+def subtree_level_totals(layout: HierarchicalForest, tree: int) -> int:
+    """Sum of levels over all subtrees of ``tree``.
+
+    This is the collaborative kernel's per-query pipeline occupancy: every
+    query is pushed through every level of every subtree whether or not it is
+    present (paper §3.2.2).
+    """
+    first = int(layout.tree_root_subtree[tree])
+    last = (
+        int(layout.tree_root_subtree[tree + 1])
+        if tree + 1 < layout.n_trees
+        else layout.n_subtrees
+    )
+    return int(layout.subtree_depth[first:last].sum())

@@ -1,0 +1,70 @@
+"""Byte-exact memory-footprint accounting (paper §4.2, Fig. 6).
+
+The paper compares the hierarchical representation's memory usage against
+CSR as the ratio ``hierarchical_bytes / csr_bytes`` for subtree depths
+4 / 6 / 8.  Field widths are configurable through :class:`ByteWidths`; the
+defaults match the representations described in §2.3/§3.1 (32-bit feature
+ids and values — the paper's "48 bits per node" remark corresponds to a
+packed 16-bit feature id, also provided as :data:`PACKED_WIDTHS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest
+
+
+@dataclass(frozen=True)
+class ByteWidths:
+    """Per-field byte widths used by the footprint model."""
+
+    feature_id: int = 4
+    value: int = 4
+    #: CSR child pointer / hierarchical connection entry.
+    index: int = 4
+    #: Per-tree or per-subtree offset entry.
+    offset: int = 8
+
+    def node_bytes(self) -> int:
+        """Bytes per stored node slot (attributes only)."""
+        return self.feature_id + self.value
+
+
+#: Widths matching the paper's "48 bits to store a node's attributes".
+PACKED_WIDTHS = ByteWidths(feature_id=2, value=4, index=4, offset=8)
+
+
+def csr_bytes(forest: CSRForest, widths: ByteWidths = ByteWidths()) -> int:
+    """Total bytes of the CSR representation (Fig. 2 arrays)."""
+    n = forest.total_nodes
+    return (
+        n * widths.node_bytes()  # feature_id + value
+        + n * widths.index  # children_arr_idx
+        + forest.total_children_entries * widths.index  # children_arr
+        + (forest.n_trees + 1) * 2 * widths.offset  # per-tree offsets
+    )
+
+
+def hierarchical_bytes(
+    forest: HierarchicalForest, widths: ByteWidths = ByteWidths()
+) -> int:
+    """Total bytes of the hierarchical representation (Fig. 3 arrays)."""
+    return (
+        forest.total_slots * widths.node_bytes()  # feature_id + value
+        + (forest.n_subtrees + 1) * widths.offset  # subtree_node_offset
+        + (forest.n_subtrees + 1) * widths.offset  # connection_offset
+        + forest.subtree_connection.shape[0] * widths.index  # connections
+        + forest.n_subtrees * widths.index  # subtree_depth
+        + forest.n_trees * widths.index  # tree_root_subtree
+    )
+
+
+def footprint_ratio(
+    hier: HierarchicalForest,
+    csr: CSRForest,
+    widths: ByteWidths = ByteWidths(),
+) -> float:
+    """``hierarchical_bytes / csr_bytes`` — the y-axis of Fig. 6."""
+    return hierarchical_bytes(hier, widths) / csr_bytes(csr, widths)

@@ -1,0 +1,82 @@
+"""Quantitative shape comparison between measured results and the paper.
+
+Because the reproduction runs at reduced scale, absolute values differ from
+the paper by design; these helpers quantify how well the *shapes* match:
+
+* :func:`fig5_shape_scores` — per dataset, the Spearman rank correlation of
+  accuracy against tree depth (at the largest ensemble), for both the paper
+  grid and the measured rows.  Both should be strongly positive (accuracy
+  climbs with depth) with the same dataset ordering of plateaus.
+* :func:`table3_ordering_agreement` — fraction of pairwise speedup
+  orderings in Table 3 that the measured rows reproduce (1.0 = every "A
+  faster than B" relation preserved).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro.paper.reference import FIG5_ACCURACY, FIG5_DEPTHS, FIG5_TREES, TABLE3
+
+
+def _safe_spearman(values: Sequence[float]) -> float:
+    """Spearman rho of ``values`` against their index; 0.0 when degenerate
+    (fewer than two points or a constant curve)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2 or np.all(arr == arr[0]):
+        return 0.0
+    return float(spearmanr(np.arange(arr.size), arr).statistic)
+
+
+def _depth_curve(rows: Sequence[dict], dataset: str) -> List[float]:
+    """Measured accuracy vs depth at the largest tree count."""
+    sub = [r for r in rows if r["dataset"] == dataset]
+    if not sub:
+        raise ValueError(f"no measured rows for dataset {dataset!r}")
+    top = max(r["n_trees"] for r in sub)
+    curve = sorted(
+        ((r["depth"], r["accuracy"]) for r in sub if r["n_trees"] == top)
+    )
+    return [a for _, a in curve]
+
+
+def fig5_shape_scores(rows: Sequence[dict]) -> Dict[str, Dict[str, float]]:
+    """Spearman(depth, accuracy) for paper and measured Fig. 5 curves."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in sorted({r["dataset"] for r in rows}):
+        measured = _depth_curve(rows, name)
+        paper = [
+            FIG5_ACCURACY[name][i][FIG5_TREES.index(max(FIG5_TREES))]
+            for i in range(len(FIG5_DEPTHS))
+        ]
+        m_rho = _safe_spearman(measured)
+        p_rho = _safe_spearman(paper)
+        out[name] = {
+            "measured_spearman": float(m_rho),
+            "paper_spearman": float(p_rho),
+            "measured_climb": float(measured[-1] - measured[0]),
+            "paper_climb": float((paper[-1] - paper[0]) / 100.0),
+        }
+    return out
+
+
+def table3_ordering_agreement(measured: Dict[str, float]) -> float:
+    """Fraction of Table 3 pairwise orderings the measured speedups keep.
+
+    ``measured`` maps version name -> measured speedup vs CSR; versions not
+    present in the paper's table are ignored.
+    """
+    common = [v for v in TABLE3 if v in measured]
+    if len(common) < 2:
+        raise ValueError("need at least two overlapping versions")
+    agree = total = 0
+    for a, b in combinations(common, 2):
+        paper_order = TABLE3[a][2] > TABLE3[b][2]
+        ours_order = measured[a] > measured[b]
+        agree += paper_order == ours_order
+        total += 1
+    return agree / total

@@ -1,0 +1,123 @@
+"""Transcription of the paper's reported results (Shah et al., ICPP 2022).
+
+Sources, by section of the paper:
+
+* :data:`FIG5_ACCURACY` — the three accuracy heat-maps of Fig. 5
+  (maximum tree depth x number of trees, percent correct).
+* :data:`TABLE2` — Table 2: root-subtree-depth sweep; ``G8/G10/G12`` are
+  GPU hybrid speedups over CSR, ``F8/F10/F12`` FPGA independent seconds.
+* :data:`TABLE3` — Table 3: FPGA variants on the synthetic workload
+  (seconds, stall fraction, speedup vs CSR, frequency MHz, II).
+* :data:`FIG7_BANDS` — the prose-level GPU speedup bands of §4.3.
+* :data:`CSR_RUNTIME_RANGES` — §4.3's CSR absolute runtime ranges.
+
+Values are transcribed verbatim; helpers expose them in convenient shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Fig. 5 grid axes.
+FIG5_DEPTHS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+FIG5_TREES = (10, 25, 50, 75, 100, 125, 150)
+
+#: Fig. 5 accuracy heat-maps, percent (rows = FIG5_DEPTHS, cols = FIG5_TREES).
+FIG5_ACCURACY: Dict[str, Tuple[Tuple[float, ...], ...]] = {
+    "covertype": (
+        (71.4, 71.2, 70.7, 70.6, 71.4, 72.3, 72.4),
+        (78.5, 79.6, 80.0, 80.1, 80.1, 80.4, 80.7),
+        (81.7, 82.8, 83.0, 83.1, 83.2, 83.3, 83.3),
+        (84.4, 85.5, 85.8, 85.9, 86.0, 86.0, 86.0),
+        (86.1, 87.3, 87.6, 87.8, 87.8, 87.8, 87.8),
+        (87.0, 88.2, 88.4, 88.7, 88.7, 88.6, 88.6),
+        (87.2, 88.4, 88.6, 88.9, 88.8, 88.8, 88.8),
+        (87.2, 88.5, 88.7, 88.9, 88.9, 88.8, 88.8),
+        (87.2, 88.5, 88.7, 88.9, 88.9, 88.8, 88.8),
+        (87.2, 88.5, 88.7, 88.9, 88.9, 88.8, 88.8),
+    ),
+    "susy": (
+        (77.3, 77.7, 77.8, 77.8, 77.8, 77.7, 77.7),
+        (79.3, 79.4, 79.4, 79.5, 79.4, 79.4, 79.4),
+        (79.7, 79.9, 80.0, 80.0, 80.0, 80.0, 80.0),
+        (79.6, 80.0, 80.1, 80.2, 80.2, 80.2, 80.2),
+        (79.2, 79.8, 80.0, 80.1, 80.2, 80.2, 80.2),
+        (78.7, 79.6, 79.9, 80.0, 80.1, 80.1, 80.1),
+        (78.5, 79.5, 79.9, 80.0, 80.0, 80.1, 80.1),
+        (78.5, 79.5, 79.8, 79.9, 80.0, 80.1, 80.1),
+        (78.4, 79.5, 79.8, 79.9, 80.0, 80.1, 80.1),
+        (78.4, 79.5, 79.8, 79.9, 80.0, 80.1, 80.1),
+    ),
+    "higgs": (
+        (67.0, 67.7, 67.8, 68.1, 67.9, 68.0, 68.3),
+        (70.5, 70.9, 71.0, 71.0, 71.1, 71.1, 71.1),
+        (72.0, 72.6, 72.7, 72.8, 72.8, 72.7, 72.8),
+        (71.8, 72.9, 73.3, 73.5, 73.5, 73.6, 73.6),
+        (71.1, 72.7, 73.4, 73.6, 73.7, 73.8, 73.9),
+        (70.3, 72.6, 73.3, 73.6, 73.8, 73.9, 73.9),
+        (70.1, 72.5, 73.2, 73.6, 73.8, 73.9, 74.0),
+        (70.2, 72.5, 73.3, 73.7, 73.8, 73.9, 74.0),
+        (70.2, 72.4, 73.3, 73.6, 73.7, 73.9, 73.9),
+        (70.1, 72.5, 73.3, 73.6, 73.8, 73.9, 73.9),
+    ),
+}
+
+
+def fig5_value(dataset: str, depth: int, n_trees: int) -> float:
+    """Fig. 5 accuracy (fraction in [0, 1]) for one grid cell."""
+    grid = FIG5_ACCURACY[dataset]
+    return grid[FIG5_DEPTHS.index(depth)][FIG5_TREES.index(n_trees)] / 100.0
+
+
+#: Table 2: (dataset, tree depth) -> dict of G8/G10/G12 (speedup) and
+#: F8/F10/F12 (seconds).
+TABLE2: Dict[Tuple[str, int], Dict[str, float]] = {
+    ("covertype", 30): dict(G8=5.3, G10=5.4, G12=5.5, F8=6.2, F10=6.2, F12=6.0),
+    ("covertype", 35): dict(G8=5.4, G10=5.5, G12=5.8, F8=6.5, F10=6.3, F12=6.1),
+    ("covertype", 40): dict(G8=5.2, G10=5.4, G12=5.6, F8=6.5, F10=6.3, F12=6.2),
+    ("susy", 15): dict(G8=6.4, G10=7.2, G12=8.1, F8=22.5, F10=22.7, F12=22.7),
+    ("susy", 20): dict(G8=9.3, G10=9.4, G12=9.1, F8=30.0, F10=29.9, F12=29.6),
+    ("susy", 25): dict(G8=6.5, G10=7.9, G12=8.3, F8=35.3, F10=33.4, F12=33.1),
+    ("higgs", 25): dict(G8=6.0, G10=6.3, G12=6.5, F8=32.3, F10=31.0, F12=30.7),
+    ("higgs", 30): dict(G8=5.9, G10=6.5, G12=7.1, F8=33.8, F10=32.5, F12=31.6),
+    ("higgs", 35): dict(G8=6.9, G10=6.9, G12=7.0, F8=32.8, F10=32.3, F12=32.3),
+}
+
+
+def table2_row(dataset: str, depth: int) -> Dict[str, float]:
+    """One Table 2 row; KeyError for configurations the paper omits."""
+    return dict(TABLE2[(dataset, depth)])
+
+
+#: Table 3: version -> (seconds, stall fraction or None, speedup vs CSR,
+#: frequency MHz, II string).
+TABLE3: Dict[str, Tuple[float, float, float, float, str]] = {
+    "csr": (162.47, 0.1097, 1.00, 300, "292"),
+    "independent": (54.59, 0.1076, 2.98, 300, "76"),
+    "collaborative": (1957.80, 0.9068, 0.08, 300, "3"),
+    "hybrid": (29.76, 0.2509, 5.46, 300, "3/76"),
+    "independent-4S12C": (1.48, 0.3039, 109.48, 300, "76"),
+    "hybrid-4S12C": (2.44, 0.7980, 66.58, 300, "3/76"),
+    "hybrid-split-4S10C": (2.23, None, 72.92, 245, "3/76"),
+}
+
+#: §4.3 prose: GPU speedup bands over CSR (min, max).
+FIG7_BANDS: Dict[str, Tuple[float, float]] = {
+    "independent": (2.5, 4.0),
+    "hybrid": (4.5, 9.0),
+    "cuml": (4.0, 5.0),
+}
+
+#: §4.3: CSR runtime ranges at paper scale, seconds (min, max).
+CSR_RUNTIME_RANGES: Dict[str, Tuple[float, float]] = {
+    "covertype": (0.4, 0.6),
+    "susy": (1.4, 3.2),
+    "higgs": (4.3, 5.2),
+}
+
+#: §4.1: the depth bands selected for the timing experiments.
+DEPTH_BANDS: Dict[str, Tuple[int, ...]] = {
+    "covertype": (30, 35, 40),
+    "susy": (15, 20, 25),
+    "higgs": (25, 30, 35),
+}

@@ -1,0 +1,30 @@
+"""Shared utilities: RNG handling, validation helpers, and table formatting.
+
+These helpers are deliberately small and dependency-free so every other
+subpackage (:mod:`repro.forest`, :mod:`repro.layout`, the simulators, the
+experiment harness) can rely on them without import cycles.
+"""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_array_2d,
+    check_positive_int,
+    check_in_range,
+    check_same_length,
+)
+from repro.utils.tables import format_table, format_float
+from repro.utils.ascii_plot import barchart, heatmap, series_chart
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_array_2d",
+    "check_positive_int",
+    "check_in_range",
+    "check_same_length",
+    "format_table",
+    "format_float",
+    "barchart",
+    "heatmap",
+    "series_chart",
+]

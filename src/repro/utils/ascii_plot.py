@@ -1,0 +1,156 @@
+"""Terminal figures: heat-maps and bar charts without a plotting stack.
+
+The paper's evaluation is figures; this module renders their reproduction
+as unicode terminal graphics so ``repro-experiments`` output *looks* like
+the paper's artifacts, not just tables.  Used by the experiment ``render``
+functions; kept dependency-free (no matplotlib offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Shade ramp for heat-maps, light -> dark.
+_SHADES = " ░▒▓█"
+#: Horizontal bar fill.
+_BAR = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def heatmap(
+    values: np.ndarray,
+    row_labels: Sequence,
+    col_labels: Sequence,
+    title: Optional[str] = None,
+    fmt: str = "{:.3f}",
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a matrix as a shaded cell grid with inline values.
+
+    Mirrors the paper's Fig. 5 heat-maps: darker = higher.  Each cell shows
+    the formatted value on a shade chosen from its normalised magnitude.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("heatmap expects a 2-D array")
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"values {values.shape} vs labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    lo = np.nanmin(values) if vmin is None else vmin
+    hi = np.nanmax(values) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+
+    cells = [[fmt.format(v) for v in row] for row in values]
+    width = max(len(c) for row in cells for c in row)
+    width = max(width, max(len(str(c)) for c in col_labels))
+    rlw = max(len(str(r)) for r in row_labels)
+
+    def shade(v: float) -> str:
+        frac = (v - lo) / span
+        idx = min(len(_SHADES) - 1, max(0, int(frac * len(_SHADES))))
+        return _SHADES[idx]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (rlw + 1) + " ".join(str(c).rjust(width + 2) for c in col_labels)
+    lines.append(header)
+    for r, row in enumerate(values):
+        parts = []
+        for c, v in enumerate(row):
+            s = shade(v)
+            parts.append(f"{s}{cells[r][c].rjust(width)}{s}")
+        lines.append(f"{str(row_labels[r]).rjust(rlw)} " + " ".join(parts))
+    lines.append(
+        " " * (rlw + 1)
+        + f"scale: {_SHADES[0]}={lo:.3g} .. {_SHADES[-1]}={hi:.3g}"
+    )
+    return "\n".join(lines)
+
+
+def barchart(
+    items: Sequence[Tuple[str, float]],
+    title: Optional[str] = None,
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart (the paper's Fig. 7/9/10 shape).
+
+    ``baseline`` draws a ``|`` marker at that value (e.g. speedup = 1).
+    """
+    if not items:
+        raise ValueError("barchart needs at least one item")
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    vals = [float(v) for _, v in items]
+    hi = max(max(vals), baseline or 0.0, 1e-12)
+    lw = max(len(str(k)) for k, _ in items)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, v in items:
+        frac = max(0.0, v) / hi
+        whole = int(frac * width)
+        rem = int((frac * width - whole) * len(_PARTIAL))
+        bar = _BAR * whole + (_PARTIAL[rem] if rem and whole < width else "")
+        if baseline is not None:
+            pos = min(width - 1, int(baseline / hi * width))
+            bar = bar.ljust(width)
+            bar = bar[:pos] + ("┆" if bar[pos] == " " else bar[pos]) + bar[pos + 1 :]
+        lines.append(f"{str(name).rjust(lw)} {bar.ljust(width)} {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence,
+    title: Optional[str] = None,
+    height: int = 10,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Multi-series scatter/line chart on a character canvas.
+
+    Each series gets a marker; x positions are the label indices (the
+    paper's Fig. 7 x-axis is a handful of tree depths).
+    """
+    if not series:
+        raise ValueError("series_chart needs at least one series")
+    markers = "ox+*#@%&"
+    n = len(x_labels)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length != len(x_labels)")
+    all_vals = [v for ys in series.values() for v in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    span = hi - lo if hi > lo else 1.0
+    col_w = max(max(len(str(x)) for x in x_labels) + 1, 6)
+    canvas = [[" "] * (n * col_w) for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        m = markers[si % len(markers)]
+        for i, v in enumerate(ys):
+            row = height - 1 - int((v - lo) / span * (height - 1))
+            col = i * col_w + col_w // 2
+            canvas[row][col] = m
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(canvas):
+        y_val = hi - (r / (height - 1)) * span if height > 1 else hi
+        lines.append(f"{fmt.format(y_val).rjust(8)} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * (n * col_w))
+    lines.append(
+        " " * 10 + "".join(str(x).center(col_w) for x in x_labels)
+    )
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

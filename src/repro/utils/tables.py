@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark targets print the same rows/series the paper reports; this
+module renders them as aligned monospace tables so the output is directly
+comparable to the paper's tables and figure data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_float(value, digits: int = 2) -> str:
+    """Format a float compactly (``digits`` decimals, '-' for None/NaN)."""
+    if value is None:
+        return "-"
+    try:
+        f = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if f != f:  # NaN
+        return "-"
+    return f"{f:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Cells that are floats are formatted with ``float_digits`` decimals;
+    everything else is ``str()``-ed.  Returns the table as a single string
+    (callers decide whether to print it or embed it in a report).
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(format_float(cell, float_digits))
+            else:
+                cells.append(str(cell))
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Input validation helpers shared across the library.
+
+All public entry points validate their inputs eagerly and raise ``ValueError``
+/ ``TypeError`` with actionable messages, so mistakes surface at the API
+boundary rather than deep inside a simulator loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_array_2d(x, name: str = "X", dtype=np.float32) -> np.ndarray:
+    """Coerce ``x`` to a C-contiguous 2-D array of ``dtype``.
+
+    Feature matrices flow through tight NumPy gather loops; enforcing a single
+    dtype and contiguity up front keeps the per-level traversal kernels free
+    of silent copies (see the hpc guide's "views, not copies" rule).
+    """
+    arr = np.ascontiguousarray(x, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_positive_int(value, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_in_range(value, name: str, low, high) -> float:
+    """Validate ``low <= value <= high`` and return ``value`` as float."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_same_length(*arrays: Sequence, names: Sequence[str] = ()) -> int:
+    """Validate that all arrays share their first-dimension length."""
+    if not arrays:
+        raise ValueError("check_same_length needs at least one array")
+    lengths = [len(a) for a in arrays]
+    if len(set(lengths)) != 1:
+        labels = list(names) + [f"arg{i}" for i in range(len(names), len(arrays))]
+        detail = ", ".join(f"{n}={l}" for n, l in zip(labels, lengths))
+        raise ValueError(f"length mismatch: {detail}")
+    return lengths[0]

@@ -1,0 +1,60 @@
+"""Shared fixtures: small trained/random forests and query batches.
+
+Fixtures are session-scoped where construction is expensive; tests must not
+mutate them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_forest_classification, train_test_split_half
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.tree import random_tree
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_trees():
+    """10 random-topology trees over 12 features, depth <= 10."""
+    g = np.random.default_rng(7)
+    return [random_tree(g, 12, 10, leaf_prob=0.3, min_nodes=3) for _ in range(10)]
+
+
+@pytest.fixture(scope="session")
+def deep_trees():
+    """A few deeper, denser trees (depth up to 14)."""
+    g = np.random.default_rng(17)
+    return [random_tree(g, 16, 14, leaf_prob=0.15, min_nodes=3) for _ in range(6)]
+
+
+@pytest.fixture(scope="session")
+def queries(rng):
+    """1.5k standard-normal queries over 12 features."""
+    return np.random.default_rng(5).standard_normal((1536, 12)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def queries16(rng):
+    """1k queries over 16 features (for deep_trees)."""
+    return np.random.default_rng(6).standard_normal((1024, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def trained_small():
+    """A small trained forest plus its train/test data."""
+    X, y = make_forest_classification(
+        n_samples=3000,
+        n_features=10,
+        noise=0.1,
+        teacher_depth=6,
+        signal_decay=0.8,
+        seed=3,
+    )
+    Xtr, ytr, Xte, yte = train_test_split_half(X, y, seed=4)
+    clf = RandomForestClassifier(n_estimators=10, max_depth=8, seed=5)
+    clf.fit(Xtr, ytr)
+    return clf, Xtr, ytr, Xte, yte

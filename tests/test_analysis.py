@@ -1,0 +1,104 @@
+"""Tests for the analysis tools (profiler, roofline, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RooflinePoint,
+    profile_report,
+    roofline_report,
+    site_table,
+    sweep,
+)
+from repro.analysis.roofline import roofline_point
+from repro.core import HierarchicalForestClassifier
+from repro.kernels import GPUCSRKernel, GPUIndependentKernel
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+
+@pytest.fixture(scope="module")
+def run_pair(small_trees, queries):
+    csr = GPUCSRKernel().run(CSRForest.from_trees(small_trees), queries)
+    ind = GPUIndependentKernel().run(
+        HierarchicalForest.from_trees(small_trees, LayoutParams(5)), queries
+    )
+    return csr, ind
+
+
+class TestProfiler:
+    def test_site_table_lists_all_sites(self, run_pair):
+        csr, ind = run_pair
+        out = site_table(csr)
+        for site in ("feature_id", "value", "children_arr_idx", "children_arr", "X"):
+            assert site in out
+
+    def test_profile_report_contents(self, run_pair):
+        _, ind = run_pair
+        out = profile_report(ind, name="independent")
+        assert "Profile: independent" in out
+        assert "branch efficiency" in out
+        assert "Per-site global loads" in out
+
+    def test_site_shares_sum_to_one(self, run_pair):
+        csr, _ = run_pair
+        total = sum(s["transactions"] for s in csr.site_stats.values())
+        assert total == csr.metrics.global_load_transactions
+
+
+class TestRoofline:
+    def test_point_extraction(self, run_pair):
+        csr, _ = run_pair
+        p = roofline_point("csr", csr)
+        assert p.bound_by in p.roofs
+        assert p.seconds > 0
+        assert max(p.roofs.values()) == pytest.approx(
+            p.roofs[p.bound_by]
+        )
+
+    def test_headroom(self):
+        p = RooflinePoint(
+            "x", 1.0, "txn", {"txn": 1.0, "dram": 0.5, "l2": 0.1,
+                              "compute": 0.1, "shared": 0.0}
+        )
+        assert p.headroom == pytest.approx(2.0)
+
+    def test_report_renders(self, run_pair):
+        csr, ind = run_pair
+        out = roofline_report([("csr", csr), ("independent", ind)])
+        assert "csr" in out and "independent" in out
+        assert "bound by" in out
+
+
+class TestSweep:
+    def test_grid_and_dedup(self, trained_small):
+        clf, _, _, Xte, yte = trained_small
+        api = HierarchicalForestClassifier.from_forest(clf)
+        rows = sweep(
+            api,
+            Xte[:256],
+            variants=("csr", "independent", "hybrid"),
+            subtree_depths=(4, 6),
+            y_true=yte[:256],
+        )
+        # CSR runs once (layout-free); the others once per SD.
+        labels = [r["label"] for r in rows]
+        assert len([l for l in labels if "csr" in l]) == 1
+        assert len([l for l in labels if "independent" in l]) == 2
+        assert len(labels) == len(set(labels))
+        for r in rows:
+            assert r["seconds"] > 0
+            assert r["accuracy"] is not None
+
+    def test_fpga_axis(self, trained_small):
+        clf, _, _, Xte, _ = trained_small
+        api = HierarchicalForestClassifier.from_forest(clf)
+        rows = sweep(
+            api,
+            Xte[:128],
+            platforms=("fpga",),
+            variants=("independent", "cuml"),  # cuml skipped on FPGA
+            subtree_depths=(5,),
+        )
+        assert len(rows) == 1
+        assert rows[0]["platform"] == "fpga"

@@ -1,0 +1,100 @@
+"""Additional coverage: sweeps with replication axes, profiler on FPGA-free
+results, forest IO backward compatibility."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep
+from repro.core import HierarchicalForestClassifier
+from repro.forest.io import load_forest, save_forest
+from repro.fpgasim.replication import Replication
+
+
+class TestSweepReplication:
+    def test_fpga_replication_axis(self, trained_small):
+        clf, _, _, Xte, _ = trained_small
+        api = HierarchicalForestClassifier.from_forest(clf)
+        rows = sweep(
+            api,
+            Xte[:128],
+            platforms=("fpga",),
+            variants=("independent",),
+            subtree_depths=(5,),
+            replications=(Replication(), Replication(4, 12)),
+        )
+        assert len(rows) == 2
+        labels = {r["replication"] for r in rows}
+        assert labels == {"1CU", "4S12C"}
+        by = {r["replication"]: r["seconds"] for r in rows}
+        assert by["4S12C"] < by["1CU"]
+
+    def test_mixed_platform_sweep(self, trained_small):
+        clf, _, _, Xte, _ = trained_small
+        api = HierarchicalForestClassifier.from_forest(clf)
+        rows = sweep(
+            api,
+            Xte[:128],
+            platforms=("gpu", "fpga"),
+            variants=("hybrid",),
+            subtree_depths=(4,),
+        )
+        assert {r["platform"] for r in rows} == {"gpu", "fpga"}
+
+
+class TestForestIOCompat:
+    def test_v1_file_still_loads(self, trained_small, tmp_path):
+        """Format v1 (no n_samples) must load with n_samples = None."""
+        clf = trained_small[0]
+        path = os.path.join(tmp_path, "v1.npz")
+        save_forest(path, clf)
+        data = dict(np.load(path))
+        data["version"] = np.int64(1)
+        del data["n_samples"]
+        np.savez(path, **data)
+        loaded = load_forest(path)
+        assert loaded.trees_[0].n_samples is None
+        X = trained_small[3]
+        assert np.array_equal(loaded.predict(X), clf.predict(X))
+
+    def test_v2_preserves_sample_counts(self, trained_small, tmp_path):
+        clf = trained_small[0]
+        path = os.path.join(tmp_path, "v2.npz")
+        save_forest(path, clf)
+        loaded = load_forest(path)
+        for a, b in zip(clf.trees_, loaded.trees_):
+            assert a.n_samples is not None and b.n_samples is not None
+            assert np.array_equal(a.n_samples, b.n_samples)
+
+    def test_truncation_after_roundtrip(self, trained_small, tmp_path):
+        """Sample counts survive IO, so truncation stays sample-weighted."""
+        from repro.forest import truncate_forest
+
+        clf, Xtr, ytr, Xte, yte = trained_small
+        path = os.path.join(tmp_path, "f.npz")
+        save_forest(path, clf)
+        loaded = load_forest(path)
+        a = truncate_forest(clf, 4).score(Xte, yte)
+        b = truncate_forest(loaded, 4).score(Xte, yte)
+        assert a == b
+
+
+class TestBuilderSampleCounts:
+    def test_root_count_equals_dataset(self, trained_small):
+        clf, Xtr, _, _, _ = trained_small
+        for t in clf.trees_:
+            assert t.n_samples is not None
+            # Bootstrap sample size equals the training-set size.
+            assert t.n_samples[0] == Xtr.shape[0]
+
+    def test_children_counts_partition_parent(self, trained_small):
+        clf = trained_small[0]
+        t = clf.trees_[0]
+        inner = np.flatnonzero(t.feature >= 0)
+        for node in inner[:50]:
+            assert (
+                t.n_samples[node]
+                == t.n_samples[t.left_child[node]]
+                + t.n_samples[t.right_child[node]]
+            )

@@ -1,0 +1,85 @@
+"""Tests for the terminal figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import barchart, heatmap, series_chart
+
+
+class TestHeatmap:
+    def test_basic_render(self):
+        out = heatmap(
+            np.array([[0.1, 0.9], [0.5, 0.7]]), ["a", "b"], ["x", "y"],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "0.900" in out and "scale:" in out
+
+    def test_darkest_cell_is_max(self):
+        out = heatmap(np.array([[0.0, 1.0]]), ["r"], ["lo", "hi"])
+        # The max cell is wrapped in the darkest shade.
+        assert "█1.000█" in out
+
+    def test_constant_matrix_no_crash(self):
+        out = heatmap(np.ones((2, 2)), ["a", "b"], ["x", "y"])
+        assert "1.000" in out
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            heatmap(np.ones((2, 2)), ["a"], ["x", "y"])
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.ones(3), ["a"], ["x", "y", "z"])
+
+
+class TestBarchart:
+    def test_proportional_lengths(self):
+        out = barchart([("a", 1.0), ("b", 2.0)], width=20)
+        la, lb = out.splitlines()
+        assert lb.count("█") == 20
+        assert 9 <= la.count("█") <= 11
+
+    def test_baseline_marker(self):
+        out = barchart([("x", 4.0)], baseline=1.0, width=20)
+        assert "┆" not in out  # bar covers the baseline position
+        out2 = barchart([("x", 4.0), ("tiny", 0.1)], baseline=1.0, width=20)
+        assert "┆" in out2  # visible on the short bar's row
+
+    def test_values_printed(self):
+        out = barchart([("a", 3.14159)])
+        assert "3.14" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            barchart([])
+
+    def test_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            barchart([("a", 1.0)], width=2)
+
+
+class TestSeriesChart:
+    def test_render_and_legend(self):
+        out = series_chart(
+            {"ind": [1, 2, 3], "hyb": [2, 4, 6]},
+            x_labels=[15, 20, 25],
+            title="demo",
+        )
+        assert "o=ind" in out and "x=hyb" in out
+        assert "15" in out and "25" in out
+
+    def test_max_in_top_row(self):
+        out = series_chart({"s": [0.0, 10.0]}, ["a", "b"], height=5)
+        rows = out.splitlines()  # no title: line 0 is the top canvas row
+        assert "o" in rows[0]
+        assert "10.00" in rows[0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_chart({"s": [1]}, ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart({}, [])

@@ -1,0 +1,30 @@
+"""Tests for the CPU reference and its agreement with all layouts."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_reference import reference_predict, reference_votes
+from repro.forest.random_forest import RandomForestClassifier
+
+
+class TestReferenceVotes:
+    def test_vote_totals(self, small_trees, queries):
+        votes = reference_votes(small_trees, queries)
+        assert votes.shape == (queries.shape[0], 2)
+        assert np.all(votes.sum(axis=1) == len(small_trees))
+
+    def test_matches_forest_predict(self, small_trees, queries):
+        clf = RandomForestClassifier.from_trees(small_trees, 12)
+        assert np.array_equal(
+            reference_predict(small_trees, queries), clf.predict(queries)
+        )
+
+    def test_tie_breaks_low(self, small_trees, queries):
+        votes = reference_votes(small_trees, queries)
+        pred = reference_predict(small_trees, queries)
+        ties = votes[:, 0] == votes[:, 1]
+        assert np.all(pred[ties] == 0)
+
+    def test_empty_forest_rejected(self, queries):
+        with pytest.raises(ValueError):
+            reference_votes([], queries)

@@ -1,0 +1,86 @@
+"""Calibration regression locks: pinned seeds must keep producing the
+bands documented in EXPERIMENTS.md / docs/calibration.md.
+
+These catch silent drift: a change anywhere in the pipeline (generator,
+builder, layout, kernel, timing) that moves a headline number outside its
+documented band fails here with a pointed message, even if all structural
+tests still pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuml_fil import CuMLFILKernel, FILForest
+from repro.forest.tree import random_tree
+from repro.kernels import GPUCSRKernel, GPUHybridKernel, GPUIndependentKernel
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    """The exact workload used for the Fig. 7 calibration sign-off."""
+    rng = np.random.default_rng(11)
+    trees = [random_tree(rng, 20, 15, leaf_prob=0.15, min_nodes=3) for _ in range(15)]
+    X = rng.standard_normal((6144, 20)).astype(np.float32)
+    csr = GPUCSRKernel().run(CSRForest.from_trees(trees), X)
+    fil = CuMLFILKernel().run(FILForest.from_trees(trees), X)
+    hier8 = HierarchicalForest.from_trees(trees, LayoutParams(8))
+    ind8 = GPUIndependentKernel().run(hier8, X)
+    hyb8 = GPUHybridKernel().run(hier8, X)
+    return csr, fil, ind8, hyb8
+
+
+class TestFig7Calibration:
+    def test_independent_band(self, pinned):
+        csr, _, ind8, _ = pinned
+        s = csr.seconds / ind8.seconds
+        assert 2.3 < s < 4.5, f"independent speedup drifted to {s:.2f}"
+
+    def test_hybrid_band(self, pinned):
+        csr, _, _, hyb8 = pinned
+        s = csr.seconds / hyb8.seconds
+        assert 4.0 < s < 9.5, f"hybrid speedup drifted to {s:.2f}"
+
+    def test_cuml_band(self, pinned):
+        csr, fil, _, _ = pinned
+        s = csr.seconds / fil.seconds
+        assert 3.5 < s < 6.0, f"cuML speedup drifted to {s:.2f}"
+
+    def test_hybrid_vs_cuml_crossover(self, pinned):
+        """At SD 8 the hybrid must beat the cuML baseline (paper Fig. 7)."""
+        _, fil, _, hyb8 = pinned
+        assert hyb8.seconds < fil.seconds
+
+
+class TestDatasetCalibration:
+    @pytest.mark.parametrize(
+        "name,lo,hi",
+        [("covertype", 0.70, 0.90), ("susy", 0.74, 0.82), ("higgs", 0.60, 0.76)],
+    )
+    def test_quick_accuracy_bands(self, name, lo, hi):
+        """A small fixed-seed fit lands in the documented accuracy band
+        (bands widened at this 4k-row scale; higgs has the highest noise
+        and learns least from 2k training rows)."""
+        from repro.datasets import load_dataset
+        from repro.forest import RandomForestClassifier
+
+        ds = load_dataset(name, rows=4000, source="synthetic")
+        clf = RandomForestClassifier(n_estimators=10, max_depth=12, seed=3)
+        clf.fit(ds.X_train, ds.y_train)
+        acc = clf.score(ds.X_test, ds.y_test)
+        assert lo < acc < hi, f"{name} accuracy drifted to {acc:.3f}"
+
+
+class TestFPGACalibration:
+    def test_single_cu_speedup_is_ii_ratio(self, pinned, queries):
+        """Independent-vs-CSR on FPGA equals 292/76 (same work items)."""
+        from repro.kernels import FPGACSRKernel, FPGAIndependentKernel
+
+        rng = np.random.default_rng(11)
+        trees = [random_tree(rng, 12, 10, leaf_prob=0.25, min_nodes=3) for _ in range(6)]
+        hier = HierarchicalForest.from_trees(trees, LayoutParams(5))
+        csr = CSRForest.from_trees(trees)
+        a = FPGACSRKernel().run(csr, queries)
+        b = FPGAIndependentKernel().run(hier, queries)
+        assert a.seconds / b.seconds == pytest.approx(292 / 76, rel=0.05)

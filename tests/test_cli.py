@@ -1,0 +1,68 @@
+"""Tests for the repro-experiments CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def _tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.clear_memo()
+    yield
+    common.clear_memo()
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_registry_covers_every_paper_artifact(self):
+        assert set(EXPERIMENTS) == {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "table2", "table3",
+        }
+
+    def test_single_experiment_smoke(self, capsys):
+        assert main(["fig6", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "done in" in out
+
+    def test_rows_saved_with_out(self, tmp_path, capsys):
+        outdir = str(tmp_path / "rows")
+        assert main(["fig6", "--scale", "smoke", "--out", outdir]) == 0
+        path = os.path.join(outdir, "fig6_smoke.json")
+        assert os.path.exists(path)
+        with open(path) as f:
+            rows = json.load(f)
+        assert rows and "ratio" in rows[0]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--scale", "galactic"])
+
+
+class TestRowIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        import numpy as np
+
+        rows = [{"a": np.int64(3), "b": np.float32(1.5), "c": "x"}]
+        path = str(tmp_path / "r.json")
+        common.save_rows(rows, path)
+        loaded = common.load_rows(path)
+        assert loaded == [{"a": 3, "b": 1.5, "c": "x"}]
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            common.save_rows([{"bad": object()}], str(tmp_path / "x.json"))

@@ -1,0 +1,203 @@
+"""Tests for the core API: configs, results, HierarchicalForestClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComparisonTable,
+    HierarchicalForestClassifier,
+    KernelVariant,
+    Platform,
+    RunConfig,
+    RunResult,
+)
+from repro.fpgasim.replication import Replication
+from repro.layout.hierarchical import LayoutParams
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        c = RunConfig()
+        assert c.platform is Platform.GPU
+        assert c.variant is KernelVariant.HYBRID
+
+    def test_string_coercion(self):
+        c = RunConfig(platform="fpga", variant="csr")
+        assert c.platform is Platform.FPGA
+        assert c.variant is KernelVariant.CSR
+
+    def test_cuml_fpga_rejected(self):
+        with pytest.raises(ValueError):
+            RunConfig(platform="fpga", variant="cuml")
+
+    def test_labels(self):
+        assert RunConfig(variant="csr").label == "gpu-csr"
+        assert (
+            RunConfig(variant="hybrid", layout=LayoutParams(6, 10)).label
+            == "gpu-hybrid-SD6-RSD10"
+        )
+        assert (
+            RunConfig(
+                platform="fpga",
+                variant="independent",
+                replication=Replication(4, 12),
+            ).label
+            == "fpga-independent-SD6-4S12C"
+        )
+
+    def test_paper_variants(self):
+        assert len(KernelVariant.paper_variants()) == 4
+
+
+class TestRunResultAndTable:
+    def _mk(self, label_variant, seconds):
+        return RunResult(
+            config=RunConfig(variant=label_variant),
+            predictions=np.zeros(4, dtype=np.int64),
+            seconds=seconds,
+        )
+
+    def test_speedup(self):
+        base = self._mk("csr", 2.0)
+        fast = self._mk("hybrid", 0.5)
+        assert fast.speedup_over(base) == 4.0
+
+    def test_zero_seconds_rejected(self):
+        bad = self._mk("csr", 0.0)
+        with pytest.raises(ValueError):
+            bad.speedup_over(bad)
+
+    def test_table_render(self):
+        t = ComparisonTable()
+        t.add(self._mk("csr", 2.0))
+        t.add(self._mk("hybrid", 0.5))
+        out = t.render(title="demo")
+        assert "demo" in out and "gpu-hybrid" in out and "4.0000" in out
+
+    def test_table_named_baseline(self):
+        t = ComparisonTable(baseline_label="gpu-hybrid-SD6")
+        t.add(self._mk("csr", 2.0))
+        t.add(self._mk("hybrid", 0.5))
+        assert t.baseline().seconds == 0.5
+
+    def test_table_missing_baseline(self):
+        t = ComparisonTable(baseline_label="nope")
+        t.add(self._mk("csr", 1.0))
+        with pytest.raises(KeyError):
+            t.baseline()
+
+    def test_empty_table(self):
+        with pytest.raises(ValueError):
+            ComparisonTable().baseline()
+
+
+@pytest.fixture(scope="module")
+def fitted(trained_small):
+    clf, Xtr, ytr, Xte, yte = trained_small
+    return HierarchicalForestClassifier.from_forest(clf), Xte, yte
+
+
+class TestClassifier:
+    def test_fit_and_score(self, trained_small):
+        _, Xtr, ytr, Xte, yte = trained_small
+        clf = HierarchicalForestClassifier(n_estimators=5, max_depth=6, seed=0)
+        clf.fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.7
+
+    def test_classify_all_gpu_variants(self, fitted):
+        clf, Xte, yte = fitted
+        ref = clf.predict(Xte)
+        for variant in ("csr", "independent", "collaborative", "hybrid", "cuml"):
+            res = clf.classify(Xte, RunConfig(variant=variant), y_true=yte)
+            assert np.array_equal(res.predictions, ref)
+            assert res.seconds > 0
+            assert res.accuracy == pytest.approx(np.mean(ref == yte))
+
+    def test_classify_all_fpga_variants(self, fitted):
+        clf, Xte, _ = fitted
+        ref = clf.predict(Xte)
+        for variant in ("csr", "independent", "collaborative", "hybrid"):
+            res = clf.classify(
+                Xte, RunConfig(platform="fpga", variant=variant)
+            )
+            assert np.array_equal(res.predictions, ref)
+
+    def test_layout_cache_reused(self, fitted):
+        clf, Xte, _ = fitted
+        cfg = RunConfig(variant="independent", layout=LayoutParams(5))
+        l1 = clf.layout_for(cfg)
+        l2 = clf.layout_for(cfg)
+        assert l1 is l2
+
+    def test_layout_cache_distinguishes_params(self, fitted):
+        clf, _, _ = fitted
+        a = clf.layout_for(RunConfig(variant="independent", layout=LayoutParams(4)))
+        b = clf.layout_for(RunConfig(variant="independent", layout=LayoutParams(6)))
+        assert a is not b
+
+    def test_fit_clears_cache(self, trained_small):
+        clf, Xtr, ytr, _, _ = trained_small
+        api = HierarchicalForestClassifier.from_forest(clf)
+        api.layout_for(RunConfig(variant="csr"))
+        assert api._layout_cache
+        api.fit(Xtr, ytr)
+        assert not api._layout_cache
+
+    def test_from_trees(self, small_trees, queries):
+        clf = HierarchicalForestClassifier.from_trees(small_trees, 12)
+        res = clf.classify(queries, RunConfig(variant="independent"))
+        assert res.predictions.shape == (queries.shape[0],)
+
+    def test_from_unfitted_forest_rejected(self):
+        from repro.forest.random_forest import RandomForestClassifier
+
+        with pytest.raises(RuntimeError):
+            HierarchicalForestClassifier.from_forest(RandomForestClassifier())
+
+    def test_verification_catches_corruption(self, fitted):
+        clf, Xte, _ = fitted
+        layout = clf.layout_for(RunConfig(variant="csr"))
+        # Corrupt a leaf label in the layout; verification must trip.
+        leaf_idx = int(np.flatnonzero(layout.feature_id == -1)[0])
+        old = layout.value[leaf_idx]
+        layout.value[leaf_idx] = 1.0 - old
+        try:
+            with pytest.raises(RuntimeError, match="disagrees"):
+                clf.classify(Xte, RunConfig(variant="csr"))
+        finally:
+            layout.value[leaf_idx] = old
+
+
+class TestBatchedClassification:
+    def test_matches_single_shot(self, fitted):
+        clf, Xte, yte = fitted
+        single = clf.classify(Xte, RunConfig(variant="independent"))
+        batched = clf.classify_batched(
+            Xte, RunConfig(variant="independent"), batch_size=300, y_true=yte
+        )
+        assert np.array_equal(batched.predictions, single.predictions)
+        assert batched.n_batches == -(-Xte.shape[0] // 300)
+        assert batched.accuracy == pytest.approx(
+            np.mean(single.predictions == yte)
+        )
+
+    def test_latency_stats(self, fitted):
+        clf, Xte, _ = fitted
+        b = clf.classify_batched(Xte, RunConfig(variant="hybrid"), batch_size=256)
+        assert b.total_seconds >= b.max_batch_seconds >= b.mean_batch_seconds > 0
+        assert b.throughput_qps > 0
+
+    def test_single_batch_when_large(self, fitted):
+        clf, Xte, _ = fitted
+        b = clf.classify_batched(Xte, batch_size=10**9)
+        assert b.n_batches == 1
+
+    def test_invalid_batch_size(self, fitted):
+        clf, Xte, _ = fitted
+        with pytest.raises(ValueError):
+            clf.classify_batched(Xte, batch_size=0)
+
+    def test_empty_input_rejected(self, fitted):
+        clf, _, _ = fitted
+        with pytest.raises(ValueError):
+            clf.classify_batched(np.empty((0, 10), dtype=np.float32))

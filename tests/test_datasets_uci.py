@@ -1,0 +1,138 @@
+"""Tests for the real-UCI loaders (using tiny synthetic fixture files)."""
+
+import gzip
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, load_uci, uci_available
+from repro.datasets.uci import parse_covertype, parse_physics
+
+
+@pytest.fixture()
+def uci_dir(tmp_path):
+    """Write miniature covtype/SUSY/HIGGS files in the real formats."""
+    rng = np.random.default_rng(0)
+    # covtype: 54 features + label 1..7, plain text.
+    cov = np.hstack(
+        [
+            rng.normal(size=(60, 54)).round(2),
+            rng.integers(1, 8, size=(60, 1)),
+        ]
+    )
+    np.savetxt(tmp_path / "covtype.data", cov, delimiter=",", fmt="%.2f")
+    # SUSY: label first + 18 features, gzipped.
+    susy = np.hstack(
+        [rng.integers(0, 2, size=(60, 1)), rng.normal(size=(60, 18)).round(3)]
+    )
+    with gzip.open(tmp_path / "SUSY.csv.gz", "wt") as f:
+        np.savetxt(f, susy, delimiter=",", fmt="%.3f")
+    # HIGGS: label first + 28 features.
+    higgs = np.hstack(
+        [rng.integers(0, 2, size=(60, 1)), rng.normal(size=(60, 28)).round(3)]
+    )
+    np.savetxt(tmp_path / "HIGGS.csv", higgs, delimiter=",", fmt="%.3f")
+    return str(tmp_path)
+
+
+class TestParsers:
+    def test_covertype_binarisation(self):
+        raw = np.zeros((4, 55), dtype=np.float32)
+        raw[:, 54] = [1, 2, 2, 7]
+        X, y = parse_covertype(raw)
+        assert X.shape == (4, 54)
+        assert y.tolist() == [0, 1, 1, 0]
+
+    def test_covertype_column_check(self):
+        with pytest.raises(ValueError, match="55 columns"):
+            parse_covertype(np.zeros((2, 10), dtype=np.float32))
+
+    def test_covertype_label_range(self):
+        raw = np.zeros((1, 55), dtype=np.float32)
+        raw[0, 54] = 9
+        with pytest.raises(ValueError, match="1..7"):
+            parse_covertype(raw)
+
+    def test_physics_label_first(self):
+        raw = np.zeros((3, 19), dtype=np.float32)
+        raw[:, 0] = [1, 0, 1]
+        raw[:, 1:] = 0.5
+        X, y = parse_physics(raw, 18)
+        assert y.tolist() == [1, 0, 1]
+        assert X.shape == (3, 18)
+
+    def test_physics_bad_labels(self):
+        raw = np.full((2, 19), 0.5, dtype=np.float32)
+        raw[:, 0] = [0, 3]
+        with pytest.raises(ValueError, match="0/1"):
+            parse_physics(raw, 18)
+
+
+class TestLoadUci:
+    def test_all_three_load(self, uci_dir):
+        for name in ("covertype", "susy", "higgs"):
+            ds = load_uci(name, uci_dir=uci_dir)
+            assert ds.name == f"{name}-uci"
+            assert ds.X_train.shape[0] == 30
+            assert ds.n_features == ds.profile.n_features
+
+    def test_rows_limit(self, uci_dir):
+        ds = load_uci("higgs", uci_dir=uci_dir, rows=20)
+        assert ds.X_train.shape[0] + ds.X_test.shape[0] == 20
+
+    def test_gz_transparent(self, uci_dir):
+        ds = load_uci("susy", uci_dir=uci_dir)  # SUSY fixture is gzipped
+        assert ds.X_train.shape[1] == 18
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_uci("susy", uci_dir=str(tmp_path))
+
+    def test_no_dir_configured(self, monkeypatch):
+        monkeypatch.delenv("REPRO_UCI_DIR", raising=False)
+        with pytest.raises(ValueError, match="REPRO_UCI_DIR"):
+            load_uci("susy")
+
+    def test_availability_probe(self, uci_dir, monkeypatch):
+        assert uci_available("susy", uci_dir=uci_dir)
+        assert not uci_available("susy", uci_dir="/nonexistent")
+        monkeypatch.delenv("REPRO_UCI_DIR", raising=False)
+        assert not uci_available("susy")
+
+
+class TestLoadDatasetSource:
+    def test_auto_prefers_real_files(self, uci_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_UCI_DIR", uci_dir)
+        ds = load_dataset("susy", rows=40, source="auto")
+        assert ds.name == "susy-uci"
+
+    def test_auto_falls_back_to_synthetic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_UCI_DIR", raising=False)
+        ds = load_dataset("susy", rows=400, source="auto")
+        assert ds.name == "susy"
+
+    def test_synthetic_ignores_real_files(self, uci_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_UCI_DIR", uci_dir)
+        ds = load_dataset("susy", rows=400, source="synthetic")
+        assert ds.name == "susy"
+
+    def test_uci_source_requires_files(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_UCI_DIR", str(tmp_path))
+        with pytest.raises(FileNotFoundError):
+            load_dataset("susy", source="uci")
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            load_dataset("susy", source="magic")
+
+    def test_end_to_end_on_uci_fixture(self, uci_dir, monkeypatch):
+        """The full classify pipeline runs on real-format data."""
+        from repro.core import HierarchicalForestClassifier, RunConfig
+
+        monkeypatch.setenv("REPRO_UCI_DIR", uci_dir)
+        ds = load_dataset("covertype", source="uci")
+        clf = HierarchicalForestClassifier(n_estimators=4, max_depth=4, seed=0)
+        clf.fit(ds.X_train, ds.y_train)
+        res = clf.classify(ds.X_test, RunConfig(variant="hybrid"))
+        assert res.predictions.shape == (ds.X_test.shape[0],)

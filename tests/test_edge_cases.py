@@ -1,0 +1,103 @@
+"""Edge cases across the pipeline: degenerate forests, tiny batches,
+extreme layout parameters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import reference_predict
+from repro.core import HierarchicalForestClassifier, RunConfig
+from repro.forest.tree import DecisionTree, random_tree
+from repro.kernels import (
+    FPGAIndependentKernel,
+    GPUCSRKernel,
+    GPUHybridKernel,
+    GPUIndependentKernel,
+)
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+
+class TestDegenerateForests:
+    def test_single_tree_forest(self, queries):
+        tree = random_tree(0, 12, 6, min_nodes=3)
+        clf = HierarchicalForestClassifier.from_trees([tree], 12)
+        res = clf.classify(queries, RunConfig(variant="hybrid"))
+        assert np.array_equal(res.predictions, tree.predict(queries))
+
+    def test_all_leaf_forest(self, queries):
+        """A forest of constant stumps classifies by pure majority."""
+        trees = [DecisionTree.leaf(1), DecisionTree.leaf(1), DecisionTree.leaf(0)]
+        q = queries[:, :1]
+        clf = HierarchicalForestClassifier.from_trees(trees, 1)
+        for variant in ("csr", "independent", "hybrid", "cuml"):
+            res = clf.classify(q, RunConfig(variant=variant))
+            assert np.all(res.predictions == 1)
+
+    def test_stump_tree_every_kernel(self, queries):
+        """Depth-1 trees exercise the frontier-at-root path."""
+        trees = [random_tree(s, 12, 1, leaf_prob=0.0, min_nodes=3) for s in range(4)]
+        ref = reference_predict(trees, queries)
+        csr = CSRForest.from_trees(trees)
+        hier = HierarchicalForest.from_trees(trees, LayoutParams(1))
+        assert np.array_equal(GPUCSRKernel().run(csr, queries).predictions, ref)
+        assert np.array_equal(
+            GPUIndependentKernel().run(hier, queries).predictions, ref
+        )
+        assert np.array_equal(
+            GPUHybridKernel().run(hier, queries).predictions, ref
+        )
+        assert np.array_equal(
+            FPGAIndependentKernel().run(hier, queries).predictions, ref
+        )
+
+
+class TestExtremeLayoutParams:
+    def test_sd_larger_than_tree(self, small_trees, queries):
+        """SD far beyond tree depth -> one subtree per tree, no crossings."""
+        hier = HierarchicalForest.from_trees(small_trees, LayoutParams(11))
+        hier.validate()
+        assert hier.n_subtrees == len(small_trees)
+        assert hier.subtree_connection.size == 0
+        ref = reference_predict(small_trees, queries)
+        assert np.array_equal(
+            GPUIndependentKernel().run(hier, queries).predictions, ref
+        )
+
+    def test_rsd_12_at_shared_limit(self, small_trees, queries):
+        """RSD 12 = 4095 slots x 8 B = 32 KB: inside the 48 KB budget."""
+        hier = HierarchicalForest.from_trees(small_trees, LayoutParams(4, 12))
+        res = GPUHybridKernel().run(hier, queries)
+        assert np.array_equal(
+            res.predictions, reference_predict(small_trees, queries)
+        )
+
+
+class TestTinyQueryBatches:
+    @pytest.mark.parametrize("n", [1, 2, 31, 32, 33])
+    def test_sub_warp_batches(self, small_trees, n, queries):
+        q = queries[:n]
+        ref = reference_predict(small_trees, q)
+        hier = HierarchicalForest.from_trees(small_trees, LayoutParams(5))
+        res = GPUHybridKernel().run(hier, q)
+        assert np.array_equal(res.predictions, ref)
+        res.metrics.validate()
+
+    def test_single_query_fpga(self, small_trees, queries):
+        hier = HierarchicalForest.from_trees(small_trees, LayoutParams(5))
+        res = FPGAIndependentKernel().run(hier, queries[:1])
+        assert res.predictions.shape == (1,)
+        assert res.seconds > 0
+
+
+class TestManyClasses:
+    def test_eight_class_forest_through_kernels(self, queries):
+        rng = np.random.default_rng(3)
+        trees = [
+            random_tree(rng, 12, 7, leaf_prob=0.3, n_classes=8, min_nodes=3)
+            for _ in range(9)
+        ]
+        ref = reference_predict(trees, queries)
+        hier = HierarchicalForest.from_trees(trees, LayoutParams(4))
+        res = GPUIndependentKernel().run(hier, queries)
+        assert np.array_equal(res.predictions, ref)
+        assert res.votes.shape[1] == 8

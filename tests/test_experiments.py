@@ -1,0 +1,157 @@
+"""Smoke tests for the experiment harness: every table/figure runs at the
+"smoke" scale and produces rows with the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments import (
+    fig5_accuracy,
+    fig6_memory,
+    fig7_gpu_speedup,
+    fig8_profiling,
+    fig9_fpga_runtime,
+    fig10_gpu_vs_fpga,
+    table2_rsd,
+    table3_fpga,
+)
+
+
+class TestCommon:
+    def test_scales_registered(self):
+        for name in ("smoke", "default", "full"):
+            assert common.get_scale(name).name == name
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            common.get_scale("galactic")
+
+    def test_band_depths(self):
+        scale = common.get_scale("smoke")
+        d = common.band_depths("susy", scale)
+        assert len(d) == 1 and d[0] in (15, 20, 25)
+        full = common.get_scale("full")
+        assert common.band_depths("susy", full) == (15, 20, 25)
+
+    def test_forest_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        common.clear_memo()
+        f1 = common.get_forest("susy", 4, 3, "smoke")
+        common.clear_memo()
+        f2 = common.get_forest("susy", 4, 3, "smoke")  # loads from disk
+        assert f1.total_nodes_ == f2.total_nodes_
+        common.clear_memo()
+
+    def test_queries_truncated(self):
+        ds = common.get_dataset("susy", "smoke")
+        q = common.queries_for(ds, "smoke")
+        assert q.shape[0] <= common.get_scale("smoke").queries
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _cache(tmp_path_factory):
+    """Route the forest cache into a temp dir for the experiment smoke runs."""
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("cache"))
+    common.clear_memo()
+    yield
+    common.clear_memo()
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+class TestFig5:
+    def test_rows_and_render(self):
+        rows = fig5_accuracy.run("smoke", datasets=("susy",))
+        assert rows
+        for r in rows:
+            assert 0.4 < r["accuracy"] <= 1.0
+        out = fig5_accuracy.render(rows)
+        assert "susy" in out
+
+    def test_accuracy_not_degenerate(self):
+        rows = fig5_accuracy.run("smoke", datasets=("susy",))
+        best = max(r["accuracy"] for r in rows)
+        assert best > 0.7
+
+
+class TestFig6:
+    def test_shape(self):
+        rows = fig6_memory.run("smoke", datasets=("susy",))
+        by_sd = {r["sd"]: r["ratio"] for r in rows}
+        assert by_sd[4] < by_sd[6]  # padding grows with SD
+        assert all(r["ratio"] > 0 for r in rows)
+        assert "susy" in fig6_memory.render(rows)
+
+
+class TestFig7:
+    def test_speedups_positive_and_ordered(self):
+        rows = fig7_gpu_speedup.run("smoke", datasets=("susy",))
+        by = {(r["variant"], r["sd"]): r["speedup"] for r in rows}
+        for sd in (4, 6):
+            assert by[("independent", sd)] > 1.0
+            assert by[("hybrid", sd)] > by[("independent", sd)]
+        assert by[("cuml", None)] > 1.0
+        assert "speedup" in fig7_gpu_speedup.render(rows)
+
+
+class TestFig8:
+    def test_counters(self):
+        rows = fig8_profiling.run("smoke")
+        assert all(r["gld_ratio"] < 1.0 for r in rows)
+        assert all(
+            r["hyb_branch_eff"] >= r["ind_branch_eff"] - 0.05 for r in rows
+        )
+        fig8_profiling.render(rows)
+
+
+class TestTable2:
+    def test_columns_present(self):
+        rows = table2_rsd.run("smoke", datasets=("susy",))
+        r = rows[0]
+        for rsd in (8, 10, 12):
+            assert r[f"G{rsd}"] > 1.0
+            assert r[f"F{rsd}"] > 0
+        table2_rsd.render(rows)
+
+
+class TestTable3:
+    def test_paper_orderings(self):
+        rows = table3_fpga.run("smoke")
+        by = {r["version"]: r for r in rows}
+        assert by["hybrid"]["vs_csr"] > by["independent"]["vs_csr"] > 1.0
+        assert by["collaborative"]["vs_csr"] < 1.0
+        assert by["independent-4S12C"]["vs_csr"] > by["hybrid-4S12C"]["vs_csr"]
+        assert (
+            by["independent-4S12C"]["vs_csr"]
+            > by["hybrid-split-4S10C"]["vs_csr"]
+            > by["hybrid-4S12C"]["vs_csr"]
+        )
+        assert by["collaborative"]["stall_pct"] > 0.8
+        assert by["csr"]["ii"] == 292
+        table3_fpga.render(rows)
+
+
+class TestFig9:
+    def test_shape(self):
+        rows = fig9_fpga_runtime.run("smoke", datasets=("susy",))
+        by = {(r["variant"], r["sd"]): r["seconds"] for r in rows}
+        # Independent <= hybrid at same SD (the paper's Fig. 9 observation
+        # holds for large workloads; allow slack at smoke scale).
+        for sd in (4, 6):
+            assert by[("independent", sd)] > 0
+            assert by[("hybrid", sd)] > 0
+        fig9_fpga_runtime.render(rows)
+
+
+class TestFig10:
+    def test_gpu_wins(self):
+        rows = fig10_gpu_vs_fpga.run("smoke")
+        for r in rows:
+            assert r["gpu_seconds"] < r["fpga_seconds"]
+            assert r["gpu_advantage"] > 10
+        fig10_gpu_vs_fpga.render(rows)

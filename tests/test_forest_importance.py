@@ -1,0 +1,115 @@
+"""Tests for feature importances and out-of-bag evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_forest_classification
+from repro.forest import (
+    RandomForestClassifier,
+    forest_feature_importances,
+    tree_feature_importance,
+)
+from repro.forest.importance import oob_score, oob_votes
+from repro.forest.tree import DecisionTree
+
+
+@pytest.fixture(scope="module")
+def informative_fit():
+    """Forest trained on data whose signal lives in few known features."""
+    X, y = make_forest_classification(
+        3000, 8, noise=0.1, teacher_depth=5, n_informative=3, seed=0
+    )
+    clf = RandomForestClassifier(
+        n_estimators=15, max_depth=8, store_oob=True, seed=1
+    ).fit(X, y)
+    return clf, X, y
+
+
+class TestFeatureImportance:
+    def test_normalised(self, informative_fit):
+        clf, _, _ = informative_fit
+        imp = clf.feature_importances_
+        assert imp.shape == (8,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert np.all(imp >= 0)
+
+    def test_informative_features_rank_highest(self, informative_fit):
+        """The 3 signal features must dominate the 5 noise features."""
+        clf, _, _ = informative_fit
+        imp = clf.feature_importances_
+        top3 = np.argsort(imp)[::-1][:3]
+        # The 3 informative features must outrank every noise feature
+        # (sqrt-subsampling still forces some splits on noise features, so
+        # their importances are not near zero).
+        rest = np.argsort(imp)[::-1][3:]
+        assert imp[top3].min() > imp[rest].max()
+        assert imp[top3].sum() > 0.45
+
+    def test_leaf_tree_zero_importance(self):
+        imp = tree_feature_importance(DecisionTree.leaf(0), 4)
+        assert np.all(imp == 0)
+
+    def test_out_of_range_feature_rejected(self, small_trees):
+        with pytest.raises(ValueError):
+            tree_feature_importance(small_trees[0], 2)
+
+    def test_forest_empty_rejected(self):
+        with pytest.raises(ValueError):
+            forest_feature_importances([], 4)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().feature_importances_
+
+
+class TestOOB:
+    def test_oob_below_train_above_chance(self, informative_fit):
+        clf, X, y = informative_fit
+        oob = clf.oob_score(X, y)
+        train = clf.score(X, y)
+        assert 0.6 < oob <= train + 0.02
+
+    def test_oob_close_to_heldout(self):
+        """OOB accuracy approximates held-out accuracy (its purpose)."""
+        from repro.datasets.synthetic import train_test_split_half
+
+        X, y = make_forest_classification(
+            4000, 8, noise=0.15, teacher_depth=5, seed=3
+        )
+        Xtr, ytr, Xte, yte = train_test_split_half(X, y, seed=4)
+        clf = RandomForestClassifier(
+            n_estimators=20, max_depth=8, store_oob=True, seed=2
+        ).fit(Xtr, ytr)
+        oob = clf.oob_score(Xtr, ytr)
+        held = clf.score(Xte, yte)
+        # OOB votes use only ~n/e trees per sample, so it is a slightly
+        # pessimistic estimate for small ensembles.
+        assert held - 0.09 < oob <= held + 0.02
+
+    def test_requires_store_oob(self, trained_small):
+        clf, Xtr, ytr, _, _ = trained_small
+        with pytest.raises(RuntimeError, match="store_oob"):
+            clf.oob_score(Xtr, ytr)
+
+    def test_votes_shape_and_coverage(self, informative_fit):
+        clf, X, y = informative_fit
+        votes = oob_votes(
+            clf.trees_, clf.bootstrap_indices_, X, clf.n_classes_
+        )
+        assert votes.shape == (X.shape[0], 2)
+        # With 15 bootstrap trees, ~every sample has >= 1 OOB vote and the
+        # expected vote count is n_estimators/e ~ 5.5.
+        per_sample = votes.sum(axis=1)
+        assert np.mean(per_sample > 0) > 0.99
+        assert 3 < per_sample.mean() < 8
+
+    def test_mismatched_indices_rejected(self, informative_fit):
+        clf, X, _ = informative_fit
+        with pytest.raises(ValueError):
+            oob_votes(clf.trees_, clf.bootstrap_indices_[:-1], X, 2)
+
+    def test_no_oob_samples_rejected(self, informative_fit):
+        clf, X, y = informative_fit
+        full = [np.arange(X.shape[0])] * len(clf.trees_)
+        with pytest.raises(ValueError, match="out-of-bag"):
+            oob_score(clf.trees_, full, X, y, 2)

@@ -1,0 +1,92 @@
+"""Tests for forest serialisation and shape metrics."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.forest.io import load_forest, save_forest
+from repro.forest.metrics import (
+    accuracy_score,
+    forest_shape_stats,
+    tree_shape_stats,
+)
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.tree import DecisionTree, LEAF
+
+
+class TestIO:
+    def test_roundtrip(self, trained_small, tmp_path, queries):
+        clf = trained_small[0]
+        path = os.path.join(tmp_path, "forest.npz")
+        save_forest(path, clf)
+        loaded = load_forest(path)
+        assert len(loaded.trees_) == len(clf.trees_)
+        assert loaded.n_classes_ == clf.n_classes_
+        assert loaded.n_features_ == clf.n_features_
+        X = trained_small[3]
+        assert np.array_equal(loaded.predict(X), clf.predict(X))
+
+    def test_extension_appended(self, trained_small, tmp_path):
+        clf = trained_small[0]
+        path = os.path.join(tmp_path, "f2")
+        save_forest(path, clf)
+        loaded = load_forest(path)  # resolves f2.npz
+        assert len(loaded.trees_) == len(clf.trees_)
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_forest(os.path.join(tmp_path, "x"), RandomForestClassifier())
+
+    def test_version_check(self, trained_small, tmp_path):
+        clf = trained_small[0]
+        path = os.path.join(tmp_path, "f3.npz")
+        save_forest(path, clf)
+        data = dict(np.load(path))
+        data["version"] = np.int64(999)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_forest(path)
+
+
+class TestAccuracyScore:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([0, 0], [0, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0], [0, 1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestShapeStats:
+    def test_leaf_tree(self):
+        s = tree_shape_stats(DecisionTree.leaf(0))
+        assert s.n_nodes == 1 and s.n_leaves == 1 and s.max_depth == 0
+        assert s.density == 1.0
+
+    def test_counts_consistent(self, small_trees):
+        for t in small_trees:
+            s = tree_shape_stats(t)
+            assert s.n_nodes == t.n_nodes
+            assert s.n_leaves == t.n_leaves
+            # Binary tree: leaves = inner + 1.
+            assert s.n_leaves == (s.n_nodes - s.n_leaves) + 1
+            assert 0 <= s.early_leaf_fraction <= 1
+            assert 0 < s.density <= 1
+
+    def test_forest_aggregate(self, small_trees):
+        agg = forest_shape_stats(small_trees)
+        assert agg["n_trees"] == len(small_trees)
+        assert agg["total_nodes"] == sum(t.n_nodes for t in small_trees)
+        assert agg["max_depth"] == max(t.max_depth for t in small_trees)
+
+    def test_forest_empty_rejected(self):
+        with pytest.raises(ValueError):
+            forest_shape_stats([])

@@ -1,0 +1,95 @@
+"""Tests for depth truncation."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestClassifier, truncate_depth, truncate_forest
+from repro.forest.prune import depth_sweep
+from repro.forest.tree import DecisionTree, random_tree
+
+
+class TestTruncateDepth:
+    def test_structure_valid(self, small_trees):
+        for t in small_trees:
+            for d in (0, 1, 3, 5):
+                cut = truncate_depth(t, d)
+                cut.validate()
+                assert cut.max_depth <= d
+
+    def test_noop_when_shallow(self, small_trees):
+        t = small_trees[0]
+        assert truncate_depth(t, t.max_depth) is t
+        assert truncate_depth(t, 100) is t
+
+    def test_depth_zero_is_majority_leaf(self, small_trees, queries):
+        t = small_trees[0]
+        stump = truncate_depth(t, 0)
+        assert stump.n_nodes == 1
+        # The stump predicts one constant class for everything.
+        assert len(np.unique(stump.predict(queries))) == 1
+
+    def test_predictions_agree_above_cut(self, small_trees, queries):
+        """Queries whose full path is shorter than the cut are unchanged."""
+        t = small_trees[0]
+        d = 4
+        cut = truncate_depth(t, d)
+        full = t.predict(queries)
+        trunc = cut.predict(queries)
+        path_lens = np.array(
+            [len(list(t.decision_path(q))) for q in queries[:200]]
+        )
+        short = path_lens <= d  # path fits within the kept depth
+        assert np.array_equal(trunc[:200][short], full[:200][short])
+
+    def test_monotone_node_count(self, small_trees):
+        t = small_trees[0]
+        sizes = [truncate_depth(t, d).n_nodes for d in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+
+    def test_majority_label_at_cut(self):
+        """A cut node takes its subtree's majority leaf class."""
+        # Root splits; left child is a leaf(1); right child has leaves 0,0.
+        t = DecisionTree(
+            feature=np.array([0, -1, 1, -1, -1]),
+            threshold=np.array([0, 0, 0, 0, 0], dtype=np.float32),
+            left_child=np.array([1, -1, 3, -1, -1]),
+            right_child=np.array([2, -1, 4, -1, -1]),
+            value=np.array([-1, 1, -1, 0, 0]),
+        )
+        cut = truncate_depth(t, 1)
+        # Node at depth 1 on the right (old node 2) -> majority of {0,0} = 0.
+        assert cut.feature[2] == -1
+        assert cut.value[2] == 0
+
+
+class TestTruncateForest:
+    def test_accuracy_monotone_in_depth(self, trained_small):
+        """Truncated forests recover the depth-accuracy curve."""
+        clf, Xtr, ytr, Xte, yte = trained_small
+        accs = [
+            truncate_forest(clf, d).score(Xte, yte) for d in (1, 3, 8)
+        ]
+        assert accs[0] <= accs[1] + 0.03
+        assert accs[1] <= accs[2] + 0.03
+        # Full-depth truncation == original forest.
+        assert accs[2] == pytest.approx(clf.score(Xte, yte))
+
+    def test_truncation_approximates_retraining(self, trained_small):
+        """Truncating to depth d scores close to a fresh depth-d fit."""
+        clf, Xtr, ytr, Xte, yte = trained_small
+        cut = truncate_forest(clf, 4).score(Xte, yte)
+        fresh = (
+            RandomForestClassifier(n_estimators=10, max_depth=4, seed=5)
+            .fit(Xtr, ytr)
+            .score(Xte, yte)
+        )
+        assert abs(cut - fresh) < 0.06
+
+    def test_depth_sweep(self, trained_small):
+        clf = trained_small[0]
+        forests = depth_sweep(clf, (2, 4, 6))
+        assert [f.max_tree_depth_ <= d for f, d in zip(forests, (2, 4, 6))]
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            truncate_forest(RandomForestClassifier(), 3)

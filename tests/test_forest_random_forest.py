@@ -1,0 +1,114 @@
+"""Tests for RandomForestClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.forest.random_forest import RandomForestClassifier
+from repro.forest.tree import random_tree
+
+
+class TestFit:
+    def test_basic_accuracy(self, trained_small):
+        clf, Xtr, ytr, Xte, yte = trained_small
+        assert clf.score(Xte, yte) > 0.75
+
+    def test_forest_beats_single_tree(self, trained_small):
+        clf, Xtr, ytr, Xte, yte = trained_small
+        single = RandomForestClassifier(n_estimators=1, max_depth=8, seed=5)
+        single.fit(Xtr, ytr)
+        # Ensembling should not be (much) worse than one tree.
+        assert clf.score(Xte, yte) >= single.score(Xte, yte) - 0.02
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((300, 6)).astype(np.float32)
+        y = (X[:, 0] > 0).astype(np.int32)
+        a = RandomForestClassifier(n_estimators=5, max_depth=4, seed=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, max_depth=4, seed=1).fit(X, y)
+        for ta, tb in zip(a.trees_, b.trees_):
+            assert np.array_equal(ta.feature, tb.feature)
+
+    def test_trees_differ_across_ensemble(self, trained_small):
+        clf = trained_small[0]
+        shapes = {t.n_nodes for t in clf.trees_}
+        assert len(shapes) > 1  # bootstrap + feature subsampling vary trees
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((600, 4)).astype(np.float32)
+        y = (X[:, 0] > 0).astype(np.int32) + 2 * (X[:, 1] > 0).astype(np.int32)
+        clf = RandomForestClassifier(n_estimators=10, max_depth=6, seed=0).fit(X, y)
+        assert clf.n_classes_ == 4
+        assert clf.score(X, y) > 0.8
+
+    def test_no_bootstrap(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((200, 4)).astype(np.float32)
+        y = (X[:, 0] > 0).astype(np.int32)
+        clf = RandomForestClassifier(
+            n_estimators=3, max_depth=4, bootstrap=False, seed=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_label_mismatch_raises(self):
+        X = np.ones((10, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=2).fit(X, np.zeros(9))
+
+    def test_negative_labels_raise(self):
+        X = np.random.default_rng(0).standard_normal((10, 2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=2).fit(X, -np.ones(10, dtype=int))
+
+
+class TestPredict:
+    def test_votes_shape_and_sum(self, trained_small):
+        clf, _, _, Xte, _ = trained_small
+        votes = clf.predict_votes(Xte[:50])
+        assert votes.shape == (50, clf.n_classes_)
+        assert np.all(votes.sum(axis=1) == clf.n_estimators)
+
+    def test_predict_is_argmax_of_votes(self, trained_small):
+        clf, _, _, Xte, _ = trained_small
+        votes = clf.predict_votes(Xte[:50])
+        assert np.array_equal(clf.predict(Xte[:50]), votes.argmax(axis=1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.ones((2, 2)))
+
+    def test_feature_count_checked(self, trained_small):
+        clf = trained_small[0]
+        with pytest.raises(ValueError):
+            clf.predict(np.ones((2, 99), dtype=np.float32))
+
+
+class TestFromTrees:
+    def test_wraps_trees(self, small_trees):
+        clf = RandomForestClassifier.from_trees(small_trees, 12)
+        assert len(clf.trees_) == len(small_trees)
+        assert clf.n_features_ == 12
+
+    def test_majority_vote_semantics(self, small_trees, queries):
+        """Paper Fig. 1a: votes accumulated, compared against N/2."""
+        clf = RandomForestClassifier.from_trees(small_trees, 12)
+        per_tree = np.stack([t.predict(queries) for t in small_trees])
+        ones = per_tree.sum(axis=0)
+        n = len(small_trees)
+        expected = np.where(ones > n - ones, 1, 0)  # ties -> class 0 (argmax)
+        assert np.array_equal(clf.predict(queries), expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier.from_trees([], 4)
+
+
+class TestProperties:
+    def test_max_tree_depth(self, trained_small):
+        clf = trained_small[0]
+        assert clf.max_tree_depth_ == max(t.max_depth for t in clf.trees_)
+        assert clf.max_tree_depth_ <= 8
+
+    def test_total_nodes(self, trained_small):
+        clf = trained_small[0]
+        assert clf.total_nodes_ == sum(t.n_nodes for t in clf.trees_)

@@ -1,0 +1,158 @@
+"""Tests for the DecisionTree structure and random_tree generator."""
+
+import numpy as np
+import pytest
+
+from repro.forest.tree import EMPTY, LEAF, DecisionTree, random_tree
+
+
+def small_manual_tree():
+    """The paper's Fig. 2a tree: root f1<2.5; right subtree two more splits."""
+    return DecisionTree(
+        feature=np.array([1, LEAF, 4, 8, 20, LEAF, LEAF, LEAF, LEAF]),
+        threshold=np.array([2.5, 0, 0.5, 5.4, 8.8, 0, 0, 0, 0], dtype=np.float32),
+        left_child=np.array([1, -1, 3, 7, 5, -1, -1, -1, -1]),
+        right_child=np.array([2, -1, 4, 8, 6, -1, -1, -1, -1]),
+        value=np.array([-1, 0, -1, -1, -1, 1, 0, 0, 1]),
+        n_classes=2,
+    )
+
+
+class TestDecisionTree:
+    def test_paper_example_structure(self):
+        t = small_manual_tree()
+        t.validate()
+        assert t.n_nodes == 9
+        assert t.n_leaves == 5
+        assert t.max_depth == 3
+
+    def test_paper_example_traversal(self):
+        t = small_manual_tree()
+        # f1 = 1.25 < 2.5 -> left -> leaf node 1 -> class 0 (paper's example).
+        x = np.zeros(21, dtype=np.float32)
+        x[1] = 1.25
+        assert list(t.decision_path(x)) == [0, 1]
+        assert t.predict(x.reshape(1, -1))[0] == 0
+
+    def test_traversal_right_path(self):
+        t = small_manual_tree()
+        x = np.zeros(21, dtype=np.float32)
+        x[1] = 3.0   # right at root
+        x[4] = 9.0   # right at node 2 -> node 4
+        x[20] = 100  # right at node 4 -> node 6 -> class 0
+        assert list(t.decision_path(x)) == [0, 2, 4, 6]
+        assert t.predict(x.reshape(1, -1))[0] == 0
+
+    def test_predict_matches_decision_path(self, small_trees, queries):
+        t = small_trees[0]
+        batch = t.predict(queries[:100])
+        for i in range(100):
+            path = list(t.decision_path(queries[i]))
+            assert batch[i] == t.value[path[-1]]
+
+    def test_leaf_tree(self):
+        t = DecisionTree.leaf(1)
+        t.validate()
+        assert t.predict(np.zeros((3, 5), dtype=np.float32)).tolist() == [1, 1, 1]
+        assert t.max_depth == 0
+
+    def test_depth_computation(self):
+        t = small_manual_tree()
+        assert t.depth.tolist() == [0, 1, 1, 2, 2, 3, 3, 3, 3]
+
+    def test_node_count_by_depth(self):
+        t = small_manual_tree()
+        assert t.node_count_by_depth().tolist() == [1, 2, 2, 4]
+
+    def test_subtree_sizes(self):
+        t = small_manual_tree()
+        sizes = t.subtree_sizes()
+        assert sizes[0] == 9
+        assert sizes[1] == 1
+        assert sizes[2] == 7
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            DecisionTree(
+                feature=np.array([LEAF, LEAF]),
+                threshold=np.zeros(1),
+                left_child=np.array([-1, -1]),
+                right_child=np.array([-1, -1]),
+                value=np.array([0, 1]),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree(
+                feature=np.array([], dtype=np.int32),
+                threshold=np.array([], dtype=np.float32),
+                left_child=np.array([], dtype=np.int32),
+                right_child=np.array([], dtype=np.int32),
+                value=np.array([], dtype=np.int32),
+            )
+
+    def test_unreachable_node_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            DecisionTree(
+                feature=np.array([LEAF, LEAF]),
+                threshold=np.zeros(2, dtype=np.float32),
+                left_child=np.array([-1, -1]),
+                right_child=np.array([-1, -1]),
+                value=np.array([0, 1]),
+            )
+
+    def test_validate_catches_shared_child(self):
+        t = DecisionTree(
+            feature=np.array([0, LEAF, LEAF]),
+            threshold=np.zeros(3, dtype=np.float32),
+            left_child=np.array([1, -1, -1]),
+            right_child=np.array([2, -1, -1]),
+            value=np.array([-1, 0, 1]),
+        )
+        t.validate()
+        t.left_child[0] = 2  # both children now node 2
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_validate_catches_bad_leaf_value(self):
+        t = DecisionTree.leaf(1, n_classes=2)
+        t.value[0] = 5
+        with pytest.raises(ValueError, match="leaf value"):
+            t.validate()
+
+
+class TestRandomTree:
+    def test_structural_validity(self, rng):
+        for seed in range(20):
+            t = random_tree(seed, n_features=8, max_depth=6)
+            t.validate()
+
+    def test_depth_bound(self):
+        for seed in range(10):
+            t = random_tree(seed, 8, 5)
+            assert t.max_depth <= 5
+
+    def test_min_nodes_forces_root_split(self):
+        t = random_tree(0, 4, 3, leaf_prob=0.99, min_nodes=3)
+        assert t.n_nodes >= 3
+
+    def test_zero_depth_is_leaf(self):
+        t = random_tree(0, 4, 0)
+        assert t.n_nodes == 1 and t.is_leaf(0)
+
+    def test_deterministic(self):
+        a = random_tree(3, 8, 6)
+        b = random_tree(3, 8, 6)
+        assert np.array_equal(a.feature, b.feature)
+        assert np.array_equal(a.threshold, b.threshold)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_tree(0, 0, 3)
+        with pytest.raises(ValueError):
+            random_tree(0, 4, -1)
+
+    def test_features_in_range(self):
+        t = random_tree(1, 5, 8, leaf_prob=0.2)
+        inner = t.feature[t.feature != LEAF]
+        assert inner.min() >= 0 and inner.max() < 5

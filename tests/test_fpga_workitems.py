@@ -1,0 +1,67 @@
+"""FPGA kernels' work-item accounting against independent traversal math."""
+
+import numpy as np
+import pytest
+
+from repro.fpgasim.device import ALVEO_U250
+from repro.kernels import (
+    FPGACSRKernel,
+    FPGACollaborativeKernel,
+    FPGAHybridKernel,
+    FPGAIndependentKernel,
+)
+from repro.kernels.traversal_stats import subtree_level_totals, traverse_tree_stats
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+
+@pytest.fixture(scope="module")
+def setup(small_trees, queries):
+    hier = HierarchicalForest.from_trees(small_trees, LayoutParams(5))
+    csr = CSRForest.from_trees(small_trees)
+    visits = sum(
+        traverse_tree_stats(hier, queries, t).total_visits
+        for t in range(hier.n_trees)
+    )
+    return hier, csr, visits
+
+
+class TestWorkItems:
+    def test_independent_items_equal_visits(self, setup, queries):
+        hier, _, visits = setup
+        r = FPGAIndependentKernel().run(hier, queries)
+        assert r.pipeline.work_items == visits
+
+    def test_csr_items_equal_visits(self, setup, queries):
+        """CSR visits the same nodes (padding is never traversed)."""
+        _, csr, visits = setup
+        r = FPGACSRKernel().run(csr, queries)
+        assert r.pipeline.work_items == visits
+
+    def test_collaborative_items_equal_q_times_levels(self, setup, queries):
+        hier, _, _ = setup
+        r = FPGACollaborativeKernel().run(hier, queries)
+        levels = sum(
+            subtree_level_totals(hier, t) for t in range(hier.n_trees)
+        )
+        assert r.pipeline.work_items == queries.shape[0] * levels
+
+    def test_hybrid_items_partition_visits(self, setup, queries):
+        hier, _, visits = setup
+        r = FPGAHybridKernel().run(hier, queries)
+        assert r.pipeline.work_items == visits  # s1 + s2 partition
+
+    def test_collaborative_wastes_work(self, setup, queries):
+        """The collaborative pipeline processes far more items than there
+        are real node visits — the starvation the paper quantifies as
+        utilisation ~2^-s."""
+        hier, _, visits = setup
+        r = FPGACollaborativeKernel().run(hier, queries)
+        assert r.pipeline.work_items > 3 * visits
+
+    def test_ideal_cycles_lower_bound(self, setup, queries):
+        """Simulated time is never below items x II / f."""
+        hier, _, _ = setup
+        r = FPGAIndependentKernel().run(hier, queries)
+        floor = r.pipeline.work_items * 76 / (ALVEO_U250.clock_mhz * 1e6)
+        assert r.seconds >= floor

@@ -1,0 +1,81 @@
+"""Tests for the HLS kernel-description model (II + resources + clock)."""
+
+import pytest
+
+from repro.fpgasim.device import ALVEO_U250
+from repro.fpgasim.hls import (
+    COLLABORATIVE_KERNEL,
+    CSR_KERNEL,
+    HYBRID_KERNEL,
+    INDEPENDENT_KERNEL,
+    PAPER_KERNELS,
+    KernelDescription,
+    LoopDescription,
+)
+
+
+class TestLoopII:
+    def test_paper_iis_from_descriptions(self):
+        """The kernel descriptions regenerate Table 3's IIs."""
+        assert CSR_KERNEL.loops[0].ii(ALVEO_U250) == 292
+        assert INDEPENDENT_KERNEL.loops[0].ii(ALVEO_U250) == 76
+        assert COLLABORATIVE_KERNEL.loops[1].ii(ALVEO_U250) == 3
+        assert HYBRID_KERNEL.loops[0].ii(ALVEO_U250) == 3
+        assert HYBRID_KERNEL.loops[1].ii(ALVEO_U250) == 76
+
+
+class TestResources:
+    def test_hybrid_costs_more_logic_than_independent(self):
+        """§4.4: the fused hybrid is the 'complex' kernel."""
+        hl, hf, _ = HYBRID_KERNEL.resources()
+        il, iff, _ = INDEPENDENT_KERNEL.resources()
+        assert hl > il and hf > iff
+
+    def test_collaborative_is_bram_hungry(self):
+        _, _, cb = COLLABORATIVE_KERNEL.resources()
+        _, _, ib = INDEPENDENT_KERNEL.resources()
+        assert cb > ib
+
+    def test_max_cus_orderings(self):
+        """Independent replicates further than the hybrid (paper: 12 vs 10
+        per SLR)."""
+        ind = INDEPENDENT_KERNEL.max_cus_per_slr(ALVEO_U250)
+        hyb = HYBRID_KERNEL.max_cus_per_slr(ALVEO_U250)
+        assert ind >= 12
+        assert 10 <= hyb <= 12
+        assert ind > hyb
+
+    def test_paper_replications_feasible(self):
+        """Table 3's configurations must fit the resource model."""
+        assert INDEPENDENT_KERNEL.max_cus_per_slr(ALVEO_U250) >= 12
+        assert HYBRID_KERNEL.max_cus_per_slr(ALVEO_U250) >= 10
+
+
+class TestClock:
+    def test_full_clock_at_low_utilisation(self):
+        assert INDEPENDENT_KERNEL.achievable_mhz(ALVEO_U250, 4) == 300.0
+
+    def test_hybrid_clock_drop_matches_paper(self):
+        """§4.4: the split hybrid closed timing at 245 MHz with 10 CUs."""
+        mhz = HYBRID_KERNEL.achievable_mhz(ALVEO_U250, 10)
+        assert mhz == pytest.approx(245, abs=10)
+
+    def test_clock_monotone_in_cus(self):
+        mhzs = [HYBRID_KERNEL.achievable_mhz(ALVEO_U250, k) for k in (2, 8, 10, 11)]
+        assert mhzs == sorted(mhzs, reverse=True)
+
+    def test_clock_floor(self):
+        """Never derates below half the target clock."""
+        huge = KernelDescription(
+            name="huge",
+            loops=(LoopDescription("l", ("ext_load",) * 20),),
+            control_luts=300_000,
+        )
+        assert huge.achievable_mhz(ALVEO_U250, 1) >= 150.0
+
+
+class TestRegistry:
+    def test_all_paper_kernels_registered(self):
+        assert set(PAPER_KERNELS) == {
+            "csr", "independent", "collaborative", "hybrid"
+        }

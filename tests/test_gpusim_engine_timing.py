@@ -1,0 +1,195 @@
+"""Tests for WarpGrid accounting, KernelMetrics and the timing model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GPUSpec, TITAN_XP
+from repro.gpusim.engine import WarpGrid
+from repro.gpusim.metrics import KernelMetrics
+from repro.gpusim.timing import TimingModel
+
+
+class TestDeviceSpec:
+    def test_titan_xp_paper_constants(self):
+        """§4: 30 SMs, 128 cores/SM, 48 KB shared; §4.5: ~547.5 GB/s."""
+        assert TITAN_XP.n_sms == 30
+        assert TITAN_XP.cores_per_sm == 128
+        assert TITAN_XP.shared_mem_per_sm == 48 * 1024
+        assert TITAN_XP.mem_bandwidth == pytest.approx(547.5e9)
+        assert TITAN_XP.warp_size == 32
+
+    def test_derived(self):
+        assert TITAN_XP.total_cores == 3840
+        assert TITAN_XP.warps_per_block == 8
+
+    def test_block_must_be_warp_multiple(self):
+        with pytest.raises(ValueError):
+            GPUSpec(
+                name="bad", n_sms=1, cores_per_sm=32, warp_size=32,
+                issue_per_sm=1, clock_ghz=1.0, transaction_bytes=128,
+                shared_mem_per_sm=1, l1_bytes_per_sm=1, l2_bytes=1,
+                mem_bandwidth=1.0, l2_bandwidth=1.0, shared_bandwidth=1.0,
+                mem_transactions_per_s=1.0, launch_overhead_s=0.0,
+                threads_per_block=100,
+            )
+
+
+class TestWarpGrid:
+    def test_warp_count(self):
+        g = WarpGrid(100, TITAN_XP)
+        assert g.n_warps == 4
+        assert g.n_blocks == 1
+
+    def test_block_count(self):
+        g = WarpGrid(1000, TITAN_XP)
+        assert g.n_blocks == 4  # 256 threads/block
+
+    def test_active_warps(self):
+        g = WarpGrid(64, TITAN_XP)
+        active = np.zeros(64, bool)
+        active[0] = True
+        assert g.active_warps(active) == 1
+        active[40] = True
+        assert g.active_warps(active) == 2
+
+    def test_record_step_divergence(self):
+        g = WarpGrid(64, TITAN_XP)
+        m = KernelMetrics()
+        active = np.ones(64, bool)
+        active[32:] = False  # second warp idle -> not issued at all
+        g.record_step(m, active, instructions=5)
+        assert m.warp_instructions == 5
+        assert m.active_lanes == 32
+        assert m.lane_slots == 32
+        assert m.warp_efficiency == 1.0
+
+    def test_record_step_partial_warp_divergence(self):
+        g = WarpGrid(32, TITAN_XP)
+        m = KernelMetrics()
+        active = np.ones(32, bool)
+        active[16:] = False
+        g.record_step(m, active)
+        assert m.active_lanes == 16 and m.lane_slots == 32
+        assert m.warp_efficiency == 0.5
+
+    def test_uniform_branch(self):
+        g = WarpGrid(32, TITAN_XP)
+        m = KernelMetrics()
+        g.record_branch(m, np.ones(32, bool), np.ones(32, bool))
+        g.record_branch(m, np.ones(32, bool), np.zeros(32, bool))
+        assert m.branches == 2 and m.uniform_branches == 2
+
+    def test_divergent_branch(self):
+        g = WarpGrid(32, TITAN_XP)
+        m = KernelMetrics()
+        taken = np.zeros(32, bool)
+        taken[0] = True
+        g.record_branch(m, np.ones(32, bool), taken)
+        assert m.branches == 1 and m.uniform_branches == 0
+
+    def test_inactive_lanes_ignored_for_uniformity(self):
+        g = WarpGrid(32, TITAN_XP)
+        m = KernelMetrics()
+        active = np.zeros(32, bool)
+        active[:4] = True
+        taken = np.zeros(32, bool)
+        taken[:4] = True
+        taken[10] = True  # inactive lane disagrees: irrelevant
+        g.record_branch(m, active, taken)
+        assert m.uniform_branches == 1
+
+    def test_loop_branch_partial_exit_divergent(self):
+        g = WarpGrid(32, TITAN_XP)
+        m = KernelMetrics()
+        before = np.ones(32, bool)
+        after = np.ones(32, bool)
+        after[5] = False
+        g.record_loop_branch(m, before, after)
+        assert m.branches == 1 and m.uniform_branches == 0
+
+    def test_length_mismatch(self):
+        g = WarpGrid(32, TITAN_XP)
+        m = KernelMetrics()
+        with pytest.raises(ValueError):
+            g.record_step(m, np.ones(31, bool))
+
+    def test_zero_queries_rejected(self):
+        with pytest.raises(ValueError):
+            WarpGrid(0, TITAN_XP)
+
+
+class TestKernelMetrics:
+    def test_merge(self):
+        a = KernelMetrics(global_load_requests=1, branches=2, uniform_branches=1)
+        b = KernelMetrics(global_load_requests=3, branches=4, uniform_branches=4)
+        a.merge(b)
+        assert a.global_load_requests == 4
+        assert a.branch_efficiency == pytest.approx(5 / 6)
+        assert a.launches == 2
+
+    def test_validation_catches_inconsistency(self):
+        m = KernelMetrics(branches=1, uniform_branches=2)
+        with pytest.raises(ValueError):
+            m.validate()
+        m = KernelMetrics(global_load_transactions=1, dram_transactions=2)
+        with pytest.raises(ValueError):
+            m.validate()
+
+    def test_as_dict_roundtrip(self):
+        d = KernelMetrics(global_load_requests=5).as_dict()
+        assert d["global_load_requests"] == 5
+        assert "branch_efficiency" in d
+
+    def test_defaults(self):
+        m = KernelMetrics()
+        assert m.branch_efficiency == 1.0
+        assert m.warp_efficiency == 1.0
+        assert m.coalescing_ratio == 0.0
+
+
+class TestTimingModel:
+    def test_memory_bound_kernel(self):
+        m = KernelMetrics(
+            global_load_transactions=10_000_000,
+            dram_transactions=10_000_000,
+            issue_weighted_transactions=10_000_000.0,
+            footprint_bytes=10_000_000 * 128,
+        )
+        t = TimingModel(TITAN_XP).time(m)
+        assert t.bound_by in ("dram", "txn")
+        assert t.seconds > t.compute_s
+
+    def test_compute_bound_kernel(self):
+        m = KernelMetrics(warp_instructions=10_000_000_000)
+        t = TimingModel(TITAN_XP).time(m)
+        assert t.bound_by == "compute"
+
+    def test_launch_overhead_floor(self):
+        t = TimingModel(TITAN_XP).time(KernelMetrics())
+        assert t.seconds >= TITAN_XP.launch_overhead_s
+
+    def test_capacity_correction_increases_time(self):
+        m = KernelMetrics(
+            global_load_transactions=2_000_000,
+            dram_transactions=100_000,
+            footprint_bytes=100 * 1024 * 1024,  # >> 3 MB L2
+        )
+        with_corr = TimingModel(TITAN_XP, l2_capacity_correction=True).time(m)
+        without = TimingModel(TITAN_XP, l2_capacity_correction=False).time(m)
+        assert with_corr.dram_s > without.dram_s
+
+    def test_l1_transactions_excluded(self):
+        base = dict(global_load_transactions=1_000_000, dram_transactions=1000)
+        m_no_l1 = KernelMetrics(**base)
+        m_l1 = KernelMetrics(**base, l1_transactions=999_000)
+        t0 = TimingModel(TITAN_XP).time(m_no_l1)
+        t1 = TimingModel(TITAN_XP).time(m_l1)
+        assert t1.l2_s < t0.l2_s
+
+    def test_invalid_cpi(self):
+        with pytest.raises(ValueError):
+            TimingModel(TITAN_XP, cycles_per_instruction=0)
+
+    def test_as_dict(self):
+        d = TimingModel(TITAN_XP).time(KernelMetrics()).as_dict()
+        assert set(d) >= {"seconds", "compute_s", "dram_s", "bound_by"}

@@ -1,0 +1,58 @@
+"""Tests for the SM occupancy calculator."""
+
+import pytest
+
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.occupancy import (
+    MAX_BLOCKS_PER_SM,
+    MAX_THREADS_PER_SM,
+    occupancy,
+)
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        occ = occupancy(TITAN_XP, shared_bytes_per_block=0)
+        # 2048 / 256 = 8 blocks.
+        assert occ.blocks_per_sm == 8
+        assert occ.limited_by == "threads"
+        assert occ.warps_per_sm == 64
+
+    def test_shared_limited_full_batch(self):
+        """The collaborative kernel's 48 KB batches -> 2 blocks/SM (96 KB
+        physical / 48 KB per block)."""
+        occ = occupancy(TITAN_XP, shared_bytes_per_block=48 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "shared"
+
+    def test_hybrid_rsd10_root(self):
+        """RSD 10 root subtree (1023 slots x 8 B = 8 KB) keeps occupancy
+        thread-limited."""
+        occ = occupancy(TITAN_XP, shared_bytes_per_block=8 * 1024)
+        assert occ.blocks_per_sm == 8
+        assert occ.limited_by == "threads"
+
+    def test_block_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(TITAN_XP, shared_bytes_per_block=64 * 1024)
+
+    def test_negative_shared_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(TITAN_XP, shared_bytes_per_block=-1)
+
+    def test_waves(self):
+        occ = occupancy(TITAN_XP, shared_bytes_per_block=48 * 1024)
+        capacity = occ.blocks_per_sm * TITAN_XP.n_sms  # 60
+        assert occ.waves(1, TITAN_XP) == 1
+        assert occ.waves(capacity, TITAN_XP) == 1
+        assert occ.waves(capacity + 1, TITAN_XP) == 2
+
+    def test_device_fill(self):
+        occ = occupancy(TITAN_XP)
+        assert occ.device_fill(1, TITAN_XP) < 0.01
+        assert occ.device_fill(10_000, TITAN_XP) == 1.0
+
+    def test_tiny_blocks_hit_block_limit(self):
+        occ = occupancy(TITAN_XP, threads_per_block=32)
+        assert occ.blocks_per_sm == MAX_BLOCKS_PER_SM
+        assert occ.limited_by == "blocks"

@@ -1,0 +1,97 @@
+"""Tests for address-trace recording and exact cache replay."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    CacheConfig,
+    TraceLog,
+    analytic_vs_exact,
+    replay_trace,
+)
+from repro.kernels import GPUIndependentKernel
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+
+@pytest.fixture(scope="module")
+def traced_run(small_trees, queries):
+    hier = HierarchicalForest.from_trees(small_trees, LayoutParams(5))
+    kernel = GPUIndependentKernel(record_trace=True)
+    result = kernel.run(hier, queries)
+    return kernel, result
+
+
+class TestTraceLog:
+    def test_recording_disabled_by_default(self, small_trees, queries):
+        hier = HierarchicalForest.from_trees(small_trees, LayoutParams(5))
+        kernel = GPUIndependentKernel()
+        kernel.run(hier, queries)
+        assert kernel.trace is None
+
+    def test_trace_populated(self, traced_run):
+        kernel, _ = traced_run
+        assert kernel.trace.n_events > 0
+        assert kernel.trace.total_accesses > 0
+        sites = {site for site, _ in kernel.trace.events}
+        assert "feature_id" in sites and "X" in sites
+
+    def test_empty_segments_skipped(self):
+        log = TraceLog()
+        log.append("a", np.empty(0, dtype=np.int64))
+        assert log.n_events == 0
+
+    def test_flat_segments_order(self):
+        log = TraceLog()
+        log.append("a", np.array([1, 2]))
+        log.append("b", np.array([3]))
+        assert log.segments_flat().tolist() == [1, 2, 3]
+
+    def test_unique_accesses_match_metrics_footprint(self, traced_run):
+        """The trace's distinct segments equal the metrics footprint."""
+        kernel, result = traced_run
+        unique = np.unique(kernel.trace.segments_flat()).size
+        assert unique * 128 == result.metrics.footprint_bytes
+
+
+class TestReplay:
+    def test_infinite_cache_only_compulsory(self, traced_run):
+        kernel, result = traced_run
+        big = CacheConfig(size_bytes=1 << 28, associativity=16)
+        replay = replay_trace(kernel.trace, big)
+        assert replay.misses == result.metrics.footprint_bytes // 128
+        assert replay.accesses == kernel.trace.total_accesses
+
+    def test_tiny_cache_mostly_misses(self, traced_run):
+        kernel, _ = traced_run
+        tiny = CacheConfig(size_bytes=8 * 128, associativity=2)
+        replay = replay_trace(kernel.trace, tiny)
+        assert replay.miss_rate > 0.3
+
+    def test_per_site_misses_sum(self, traced_run):
+        kernel, _ = traced_run
+        cfg = CacheConfig(size_bytes=64 * 128, associativity=8)
+        replay = replay_trace(kernel.trace, cfg)
+        assert sum(replay.per_site_misses.values()) == replay.misses
+
+
+class TestAnalyticVsExact:
+    def test_exact_match_when_footprint_fits(self, traced_run):
+        kernel, result = traced_run
+        cmp = analytic_vs_exact(
+            kernel.trace, result.metrics.footprint_bytes, cache_bytes=1 << 28
+        )
+        assert cmp["exact_misses"] == cmp["unique_segments"]
+        assert cmp["ratio"] == pytest.approx(1.0)
+
+    def test_capacity_regime_within_2x(self, traced_run):
+        """When the cache is smaller than the footprint, the analytic
+        estimate stays within 2x of the exact LRU misses (the model is a
+        random-replacement approximation of an LRU with real locality)."""
+        kernel, result = traced_run
+        cache_bytes = max(128 * 16, result.metrics.footprint_bytes // 4)
+        # Round to a valid config (multiple of line * associativity).
+        cache_bytes = (cache_bytes // (128 * 16)) * (128 * 16)
+        cmp = analytic_vs_exact(
+            kernel.trace, result.metrics.footprint_bytes, cache_bytes
+        )
+        assert 0.5 < cmp["ratio"] < 2.0

@@ -1,0 +1,82 @@
+"""Tests for the layout-equivalence verifier."""
+
+import numpy as np
+import pytest
+
+from repro.layout import verify_layouts
+from repro.layout.csr import CSRForest
+
+
+class TestVerifyLayouts:
+    def test_clean_forest_passes(self, small_trees):
+        rep = verify_layouts(small_trees, 12, n_queries=256)
+        assert rep.ok
+        rep.raise_on_failure()
+        assert rep.n_trees == len(small_trees)
+        assert "csr" in rep.layouts_checked
+        assert "fil" in rep.layouts_checked
+        assert any(l.startswith("hier") for l in rep.layouts_checked)
+
+    def test_detects_corruption(self, small_trees, monkeypatch):
+        """A corrupted CSR layout must be flagged with a precise message."""
+        original = CSRForest.from_trees
+
+        def corrupting(trees):
+            layout = original(trees)
+            leaf = int(np.flatnonzero(layout.feature_id == -1)[0])
+            layout.value[leaf] = 1.0 - layout.value[leaf]
+            return layout
+
+        monkeypatch.setattr(CSRForest, "from_trees", corrupting)
+        rep = verify_layouts(small_trees, 12, n_queries=256)
+        assert not rep.ok
+        assert any("csr" in f for f in rep.failures)
+        with pytest.raises(AssertionError, match="csr"):
+            rep.raise_on_failure()
+
+    def test_rsd_below_sd_skipped(self, small_trees):
+        rep = verify_layouts(
+            small_trees, 12, n_queries=64,
+            subtree_depths=(6,), root_subtree_depths=(3, 8),
+        )
+        # RSD 3 < SD 6 is skipped; only RSD 8 runs.
+        hier = [l for l in rep.layouts_checked if l.startswith("hier")]
+        assert hier == ["hier(SD=6,RSD=8)"]
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValueError):
+            verify_layouts([], 4)
+
+
+class TestMulticlassEndToEnd:
+    def test_multiclass_pipeline(self):
+        """4-class data through training, layouts and a simulated kernel."""
+        from repro.core import HierarchicalForestClassifier, RunConfig
+        from repro.datasets.synthetic import (
+            make_forest_classification,
+            train_test_split_half,
+        )
+
+        X, y = make_forest_classification(
+            3000, 8, n_classes=4, noise=0.05, teacher_depth=6, seed=9
+        )
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+        Xtr, ytr, Xte, yte = train_test_split_half(X, y, seed=1)
+        clf = HierarchicalForestClassifier(n_estimators=8, max_depth=8, seed=0)
+        clf.fit(Xtr, ytr)
+        res = clf.classify(Xte, RunConfig(variant="hybrid"), y_true=yte)
+        assert set(np.unique(res.predictions)) <= {0, 1, 2, 3}
+        assert res.accuracy > 0.5  # far above the 0.25 chance level
+
+    def test_multiclass_noise_flips_to_other_classes(self):
+        from repro.datasets.synthetic import make_forest_classification
+
+        X1, y1 = make_forest_classification(
+            2000, 6, n_classes=3, noise=0.0, teacher_depth=4, seed=5
+        )
+        X2, y2 = make_forest_classification(
+            2000, 6, n_classes=3, noise=0.3, teacher_depth=4, seed=5
+        )
+        assert np.array_equal(X1, X2)
+        flipped = np.mean(y1 != y2)
+        assert 0.2 < flipped < 0.4

@@ -1,0 +1,126 @@
+"""Deeper counter assertions: per-kernel transaction composition and the
+relationships the timing model relies on."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuml_fil import CuMLFILKernel, FILForest
+from repro.kernels import GPUCSRKernel, GPUHybridKernel, GPUIndependentKernel
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+
+@pytest.fixture(scope="module")
+def runs(small_trees, queries):
+    csr = GPUCSRKernel().run(CSRForest.from_trees(small_trees), queries)
+    hier = HierarchicalForest.from_trees(small_trees, LayoutParams(5))
+    ind = GPUIndependentKernel().run(hier, queries)
+    hyb = GPUHybridKernel().run(hier, queries)
+    fil = CuMLFILKernel().run(FILForest.from_trees(small_trees), queries)
+    return {"csr": csr, "ind": ind, "hyb": hyb, "fil": fil}
+
+
+class TestSiteComposition:
+    def test_csr_four_node_sites(self, runs):
+        sites = runs["csr"].site_stats
+        assert set(sites) == {
+            "feature_id", "value", "children_arr_idx", "children_arr", "X",
+        }
+        # feature_id and value are loaded at identical addresses each step.
+        assert sites["feature_id"]["transactions"] == sites["value"]["transactions"]
+        # Topology sites load only on inner steps: fewer or equal requests.
+        assert sites["children_arr"]["requests"] <= sites["feature_id"]["requests"]
+
+    def test_csr_topology_issue_cost(self, runs):
+        sites = runs["csr"].site_stats
+        assert sites["children_arr_idx"]["issue_cost"] == 2.5
+        assert sites["children_arr"]["issue_cost"] == 2.5
+        assert sites["feature_id"]["issue_cost"] == 1.0
+
+    def test_fil_single_node_site(self, runs):
+        sites = runs["fil"].site_stats
+        assert set(sites) == {"nodes", "X"}
+
+    def test_independent_connection_sites_rare(self, runs):
+        """Connection lookups happen only at crossings: far fewer requests
+        than node-attribute loads (the paper's core claim about the
+        layout)."""
+        sites = runs["ind"].site_stats
+        assert (
+            sites["subtree_connection"]["requests"]
+            < 0.5 * sites["feature_id"]["requests"]
+        )
+
+    def test_x_site_l1_resident_everywhere(self, runs):
+        for r in runs.values():
+            assert r.site_stats["X"]["l1_resident"] is True
+
+
+class TestCounterRelationships:
+    def test_issue_weighted_below_raw_transactions(self, runs):
+        """L1 discounts can only lower the issue-weighted total for the
+        hierarchical kernels (no >1 issue costs there)."""
+        for key in ("ind", "hyb"):
+            m = runs[key].metrics
+            assert m.issue_weighted_transactions < m.global_load_transactions
+
+    def test_issue_weighting_formula(self, runs):
+        """The aggregate issue-weighted counter equals the per-site formula
+        (cold at full cost + reuse at the site's discount)."""
+        r = runs["csr"]
+        expected = 0.0
+        for s in r.site_stats.values():
+            cold = s["cold_transactions"]
+            reuse = s["transactions"] - cold
+            if s["l1_resident"]:
+                expected += cold * s["issue_cost"] + reuse * 0.15
+            else:
+                expected += (
+                    s["transactions"] * s["issue_cost"] * (1 - s["l1_hit_rate"])
+                )
+        assert r.metrics.issue_weighted_transactions == pytest.approx(expected)
+
+    def test_csr_node_sites_carry_dependent_cost(self, runs):
+        """The CSR topology sites contribute 2.5x their transactions."""
+        sites = runs["csr"].site_stats
+        topo = (
+            sites["children_arr_idx"]["transactions"]
+            + sites["children_arr"]["transactions"]
+        )
+        attr = (
+            sites["feature_id"]["transactions"] + sites["value"]["transactions"]
+        )
+        m = runs["csr"].metrics
+        non_x = m.issue_weighted_transactions - (
+            sites["X"]["cold_transactions"]
+            + (sites["X"]["transactions"] - sites["X"]["cold_transactions"]) * 0.15
+        )
+        assert non_x == pytest.approx(0.9 * (attr + 2.5 * topo), rel=1e-6)
+
+    def test_footprints_ordering(self, runs):
+        """CSR stores ~2x the bytes of the hierarchical layout (extra
+        topology arrays), so its touched footprint is larger."""
+        assert (
+            runs["csr"].metrics.footprint_bytes
+            > runs["ind"].metrics.footprint_bytes
+        )
+
+    def test_hybrid_dram_not_more_than_independent(self, runs):
+        """Stage-1 staging is coalesced + L2-shared: the hybrid's cold DRAM
+        traffic stays at or below the independent's."""
+        assert (
+            runs["hyb"].metrics.dram_transactions
+            <= runs["ind"].metrics.dram_transactions * 1.1
+        )
+
+    def test_seconds_equal_binding_roof_plus_overhead(self, runs):
+        for r in runs.values():
+            t = r.timing
+            roofs = {
+                "dram": t.dram_s, "l2": t.l2_s, "txn": t.txn_s,
+                "shared": t.shared_s, "compute": t.compute_s,
+            }
+            assert t.seconds == pytest.approx(
+                max(roofs.values()) + t.overhead_s
+            )
+            assert t.bound_by == max(roofs, key=roofs.get)

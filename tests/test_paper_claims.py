@@ -1,0 +1,165 @@
+"""End-to-end checks of the paper's headline claims on a mid-size workload.
+
+These are the relationships the reproduction must preserve (DESIGN.md §4);
+they run on a random-topology forest big enough for the memory effects to be
+visible but small enough for CI (~a minute).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_reference import reference_predict
+from repro.baselines.cuml_fil import CuMLFILKernel, FILForest
+from repro.forest.tree import random_tree
+from repro.kernels import (
+    GPUCSRKernel,
+    GPUCollaborativeKernel,
+    GPUHybridKernel,
+    GPUIndependentKernel,
+)
+from repro.layout.csr import CSRForest
+from repro.layout.footprint import footprint_ratio
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(11)
+    trees = [random_tree(rng, 20, 15, leaf_prob=0.15, min_nodes=3) for _ in range(15)]
+    X = rng.standard_normal((6144, 20)).astype(np.float32)
+    return trees, X
+
+
+@pytest.fixture(scope="module")
+def gpu_results(workload):
+    trees, X = workload
+    csr = CSRForest.from_trees(trees)
+    fil = FILForest.from_trees(trees)
+    ref = reference_predict(trees, X)
+    out = {"csr": GPUCSRKernel().run(csr, X), "fil": CuMLFILKernel().run(fil, X)}
+    for sd in (4, 6, 8):
+        hier = HierarchicalForest.from_trees(trees, LayoutParams(sd))
+        out[f"ind{sd}"] = GPUIndependentKernel().run(hier, X)
+        out[f"hyb{sd}"] = GPUHybridKernel().run(hier, X)
+    hier6 = HierarchicalForest.from_trees(trees, LayoutParams(6))
+    out["col6"] = GPUCollaborativeKernel().run(hier6, X)
+    for r in out.values():
+        assert np.array_equal(r.predictions, ref)
+    return out
+
+
+class TestGPUClaims:
+    def test_hierarchical_beats_csr(self, gpu_results):
+        """Abstract: 'our code variants outperform the CSR baseline'."""
+        for sd in (4, 6, 8):
+            assert gpu_results[f"ind{sd}"].seconds < gpu_results["csr"].seconds
+            assert gpu_results[f"hyb{sd}"].seconds < gpu_results["csr"].seconds
+
+    def test_independent_speedup_band(self, gpu_results):
+        """Fig. 7: independent roughly 2.5-4x over CSR."""
+        for sd in (4, 6, 8):
+            s = gpu_results["csr"].seconds / gpu_results[f"ind{sd}"].seconds
+            assert 1.8 < s < 5.5
+
+    def test_hybrid_speedup_band(self, gpu_results):
+        """Fig. 7: hybrid roughly 4.5-9x over CSR."""
+        for sd in (4, 6, 8):
+            s = gpu_results["csr"].seconds / gpu_results[f"hyb{sd}"].seconds
+            assert 3.0 < s < 11.0
+
+    def test_hybrid_beats_independent(self, gpu_results):
+        """Fig. 7: hybrid consistently outperforms independent."""
+        for sd in (4, 6, 8):
+            assert (
+                gpu_results[f"hyb{sd}"].seconds < gpu_results[f"ind{sd}"].seconds
+            )
+
+    def test_deeper_subtrees_help_hybrid(self, gpu_results):
+        """Fig. 7: 'deeper subtrees generally lead to better performance'."""
+        assert gpu_results["hyb8"].seconds < gpu_results["hyb4"].seconds
+
+    def test_cuml_band(self, gpu_results):
+        """Fig. 7: cuML roughly 4-5x over CSR."""
+        s = gpu_results["csr"].seconds / gpu_results["fil"].seconds
+        assert 3.0 < s < 6.5
+
+    def test_hybrid_competitive_with_cuml_at_large_sd(self, gpu_results):
+        """Fig. 7: hybrid matches/outperforms cuML for larger SD."""
+        assert gpu_results["hyb8"].seconds <= gpu_results["fil"].seconds * 1.1
+
+    def test_collaborative_much_slower(self, gpu_results):
+        """§3.2.1: collaborative 10-20x slower than independent on the
+        paper's workloads; the gap grows with forest/query size, so at this
+        reproduction scale we require >= 1.8x (block-serial bound)."""
+        assert gpu_results["col6"].seconds > 1.8 * gpu_results["ind6"].seconds
+        assert gpu_results["col6"].timing.bound_by == "block-serial"
+
+    def test_global_load_ratio_falls_with_sd(self, gpu_results):
+        """Fig. 8: hybrid/independent global-load ratio < 1, shrinking."""
+        ratios = [
+            gpu_results[f"hyb{sd}"].metrics.global_load_requests
+            / gpu_results[f"ind{sd}"].metrics.global_load_requests
+            for sd in (4, 6, 8)
+        ]
+        assert all(r < 1.0 for r in ratios)
+        assert ratios[2] < ratios[0]
+
+    def test_branch_efficiency_ordering(self, gpu_results):
+        """Fig. 8: hybrid branch efficiency >= independent, rising with SD."""
+        for sd in (6, 8):
+            assert (
+                gpu_results[f"hyb{sd}"].metrics.branch_efficiency
+                >= gpu_results[f"ind{sd}"].metrics.branch_efficiency - 0.02
+            )
+        assert (
+            gpu_results["hyb8"].metrics.branch_efficiency
+            > gpu_results["hyb4"].metrics.branch_efficiency
+        )
+
+
+class TestScalingClaims:
+    def test_linear_scaling_in_trees(self):
+        """§4.1: execution time scales linearly with the number of trees,
+        so speedups are constant in tree count."""
+        rng = np.random.default_rng(3)
+        trees = [random_tree(rng, 12, 10, leaf_prob=0.2, min_nodes=3) for _ in range(12)]
+        X = rng.standard_normal((2048, 12)).astype(np.float32)
+        h6 = HierarchicalForest.from_trees(trees[:6], LayoutParams(5))
+        h12 = HierarchicalForest.from_trees(trees, LayoutParams(5))
+        t6 = GPUIndependentKernel().run(h6, X).seconds
+        t12 = GPUIndependentKernel().run(h12, X).seconds
+        assert t12 / t6 == pytest.approx(2.0, rel=0.35)
+
+    def test_memory_footprint_claim(self, workload):
+        """§4.2: SD 4/6 near CSR footprint; SD 8 clearly larger."""
+        trees, _ = workload
+        csr = CSRForest.from_trees(trees)
+        r4 = footprint_ratio(
+            HierarchicalForest.from_trees(trees, LayoutParams(4)), csr
+        )
+        r8 = footprint_ratio(
+            HierarchicalForest.from_trees(trees, LayoutParams(8)), csr
+        )
+        assert r4 < 1.6
+        assert r8 > r4
+
+
+class TestRootSubtreeDepthClaims:
+    def test_larger_rsd_helps_on_dense_forests(self):
+        """Table 2: increasing RSD typically increases hybrid speedup (the
+        paper's trained forests are dense near the root; on sparse random
+        trees very large RSDs stage mostly padding, which is also why the
+        paper's own Table 2 has non-monotone cells)."""
+        rng = np.random.default_rng(23)
+        trees = [
+            random_tree(rng, 20, 13, leaf_prob=0.07, min_nodes=3)
+            for _ in range(12)
+        ]
+        X = rng.standard_normal((6144, 20)).astype(np.float32)
+        times = {}
+        for rsd in (8, 10, 12):
+            h = HierarchicalForest.from_trees(trees, LayoutParams(8, rsd))
+            times[rsd] = GPUHybridKernel().run(h, X).seconds
+        assert times[10] < times[8]
+        # RSD 12 may pad past the sweet spot but must stay competitive.
+        assert times[12] <= times[8] * 1.05

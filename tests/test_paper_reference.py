@@ -1,0 +1,190 @@
+"""Tests for the transcribed paper numbers and their consumers."""
+
+import pytest
+
+from repro.datasets.profiles import PROFILES
+from repro.paper import (
+    FIG5_ACCURACY,
+    FIG7_BANDS,
+    TABLE2,
+    TABLE3,
+    fig5_value,
+    table2_row,
+)
+from repro.paper.reference import (
+    CSR_RUNTIME_RANGES,
+    DEPTH_BANDS,
+    FIG5_DEPTHS,
+    FIG5_TREES,
+)
+
+
+class TestFig5Transcription:
+    def test_grid_shapes(self):
+        for name, grid in FIG5_ACCURACY.items():
+            assert len(grid) == len(FIG5_DEPTHS)
+            assert all(len(row) == len(FIG5_TREES) for row in grid)
+
+    def test_values_are_percentages(self):
+        for grid in FIG5_ACCURACY.values():
+            for row in grid:
+                assert all(50.0 < v < 95.0 for v in row)
+
+    def test_headline_cells(self):
+        """The cells quoted elsewhere in the paper's prose."""
+        assert fig5_value("covertype", 5, 10) == pytest.approx(0.714)
+        assert fig5_value("covertype", 40, 75) == pytest.approx(0.889)
+        assert fig5_value("susy", 5, 10) == pytest.approx(0.773)
+        assert fig5_value("susy", 20, 100) == pytest.approx(0.802)
+        assert fig5_value("higgs", 5, 10) == pytest.approx(0.670)
+        assert fig5_value("higgs", 35, 150) == pytest.approx(0.740)
+
+    def test_profiles_anchor_to_transcription(self):
+        """The dataset profiles' paper anchors equal the grid values."""
+        for name, prof in PROFILES.items():
+            grid_peak = max(max(row) for row in FIG5_ACCURACY[name]) / 100
+            assert prof.paper_peak_accuracy == pytest.approx(
+                grid_peak, abs=0.001
+            )
+            assert prof.paper_depth5_accuracy == pytest.approx(
+                fig5_value(name, 5, 10), abs=0.001
+            )
+
+    def test_ceiling_ordering(self):
+        peaks = {
+            n: max(max(r) for r in g) for n, g in FIG5_ACCURACY.items()
+        }
+        assert peaks["covertype"] > peaks["susy"] > peaks["higgs"]
+
+
+class TestTable2Transcription:
+    def test_nine_rows(self):
+        assert len(TABLE2) == 9
+        for key in TABLE2:
+            assert key[1] in DEPTH_BANDS[key[0]]
+
+    def test_row_accessor(self):
+        row = table2_row("susy", 15)
+        assert row["G8"] == 6.4 and row["G12"] == 8.1
+        with pytest.raises(KeyError):
+            table2_row("susy", 99)
+
+    def test_gpu_speedup_mostly_grows_with_rsd(self):
+        """The paper: GX grows with RSD 'with the exception of' susy d20."""
+        exceptions = 0
+        for row in TABLE2.values():
+            if not (row["G8"] <= row["G10"] + 0.05 and row["G10"] <= row["G12"] + 0.35):
+                exceptions += 1
+        assert exceptions <= 1
+
+    def test_fpga_seconds_flat_in_rsd(self):
+        for row in TABLE2.values():
+            fs = [row["F8"], row["F10"], row["F12"]]
+            assert max(fs) / min(fs) < 1.1
+
+
+class TestTable3Transcription:
+    def test_consumer_matches(self):
+        from repro.experiments.table3_fpga import PAPER_ROWS
+
+        assert set(PAPER_ROWS) == set(TABLE3)
+        assert PAPER_ROWS["independent-4S12C"][2] == 109.48
+
+    def test_speedups_consistent_with_seconds(self):
+        """Within the paper's own rounding (it prints 2 decimals)."""
+        base = TABLE3["csr"][0]
+        for version, row in TABLE3.items():
+            assert row[2] == pytest.approx(base / row[0], rel=0.05)
+
+    def test_frequency_column(self):
+        assert TABLE3["hybrid-split-4S10C"][3] == 245
+        assert TABLE3["csr"][3] == 300
+
+
+class TestBandsAndRanges:
+    def test_fig7_bands(self):
+        assert FIG7_BANDS["hybrid"][1] > FIG7_BANDS["independent"][1]
+
+    def test_csr_ranges_ordered_by_queries(self):
+        """Bigger test sets take longer: covertype < susy < higgs."""
+        assert (
+            CSR_RUNTIME_RANGES["covertype"][1]
+            < CSR_RUNTIME_RANGES["susy"][1]
+            < CSR_RUNTIME_RANGES["higgs"][1]
+        )
+
+    def test_depth_bands_match_profiles(self):
+        for name, band in DEPTH_BANDS.items():
+            assert tuple(PROFILES[name].depth_band) == band
+
+
+class TestShapeComparison:
+    def test_fig5_shape_scores_on_smoke_run(self, tmp_path, monkeypatch):
+        from repro.experiments import common, fig5_accuracy
+        from repro.paper import fig5_shape_scores
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        common.clear_memo()
+        rows = fig5_accuracy.run("smoke", datasets=("susy",))
+        common.clear_memo()
+        scores = fig5_shape_scores(rows)
+        # Susy's paper curve rises then dips slightly past its plateau, so
+        # its rank correlation is positive but moderate.
+        assert scores["susy"]["paper_spearman"] > 0.3
+        # The measured curve climbs too (2 depths at smoke scale).
+        assert scores["susy"]["measured_climb"] > 0
+
+    def test_fig5_empty_rows_empty_result(self):
+        from repro.paper import fig5_shape_scores
+
+        assert fig5_shape_scores([]) == {}
+
+    def test_fig5_covertype_paper_curve_strongly_monotone(self):
+        """Covertype is the paper's long-climb dataset: near-perfect rank
+        correlation of accuracy with depth."""
+        from repro.paper import fig5_shape_scores
+
+        rows = [
+            {"dataset": "covertype", "depth": d, "n_trees": 10,
+             "accuracy": 0.5}
+            for d in (5, 10)
+        ]
+        scores = fig5_shape_scores(rows)
+        assert scores["covertype"]["paper_spearman"] > 0.9
+
+    def test_table3_ordering_perfect_on_paper_itself(self):
+        from repro.paper import table3_ordering_agreement
+        from repro.paper.reference import TABLE3
+
+        measured = {v: row[2] for v, row in TABLE3.items()}
+        assert table3_ordering_agreement(measured) == 1.0
+
+    def test_table3_ordering_detects_flip(self):
+        from repro.paper import table3_ordering_agreement
+        from repro.paper.reference import TABLE3
+
+        measured = {v: row[2] for v, row in TABLE3.items()}
+        # Swap the replicated hybrid orderings.
+        measured["hybrid-4S12C"], measured["hybrid-split-4S10C"] = (
+            measured["hybrid-split-4S10C"],
+            measured["hybrid-4S12C"],
+        )
+        assert table3_ordering_agreement(measured) < 1.0
+
+    def test_table3_ordering_needs_overlap(self):
+        from repro.paper import table3_ordering_agreement
+
+        with pytest.raises(ValueError):
+            table3_ordering_agreement({"csr": 1.0})
+
+    def test_measured_table3_agrees_with_paper(self, tmp_path, monkeypatch):
+        """The live Table 3 run preserves every pairwise paper ordering."""
+        from repro.experiments import common, table3_fpga
+        from repro.paper import table3_ordering_agreement
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        common.clear_memo()
+        rows = table3_fpga.run("smoke")
+        common.clear_memo()
+        measured = {r["version"]: r["vs_csr"] for r in rows}
+        assert table3_ordering_agreement(measured) == 1.0

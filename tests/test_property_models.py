@@ -1,0 +1,135 @@
+"""Property-based tests on the performance models (hypothesis).
+
+These pin monotonicity and scaling laws the models must satisfy for the
+paper's comparisons to be meaningful: more work never takes less time, more
+CUs never slow a kernel down, truncation never deepens a tree, etc.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fpgasim.device import ALVEO_U250
+from repro.fpgasim.pipeline import PipelineTimer
+from repro.fpgasim.replication import Replication
+from repro.forest.prune import truncate_depth
+from repro.forest.tree import random_tree
+from repro.gpusim.cache import capacity_miss_fraction
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.metrics import KernelMetrics
+from repro.gpusim.timing import TimingModel
+
+timer = PipelineTimer(ALVEO_U250)
+gpu_model = TimingModel(TITAN_XP)
+
+
+class TestPipelineTimerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.integers(0, 10**9),
+        ii=st.integers(1, 300),
+        rand=st.floats(0, 8),
+    )
+    def test_more_work_never_faster(self, items, ii, rand):
+        a = timer.time(items, ii=ii, random_accesses_per_item=rand)
+        b = timer.time(items + 1000, ii=ii, random_accesses_per_item=rand)
+        assert b.seconds >= a.seconds
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.integers(1, 10**8),
+        ii=st.integers(1, 300),
+        slrs=st.integers(1, 4),
+    )
+    def test_more_slrs_never_slower(self, items, ii, slrs):
+        """SLRs have private channels, so adding one cannot hurt."""
+        a = timer.time(items, ii=ii, replication=Replication(slrs, 1),
+                       random_accesses_per_item=1.0)
+        if slrs < 4:
+            b = timer.time(items, ii=ii, replication=Replication(slrs + 1, 1),
+                           random_accesses_per_item=1.0)
+            assert b.seconds <= a.seconds * 1.001
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.integers(1, 10**8),
+        ii=st.integers(1, 300),
+        rand=st.floats(0, 4),
+        extra=st.floats(0, 200),
+    )
+    def test_stall_pct_bounds(self, items, ii, rand, extra):
+        r = timer.time(
+            items, ii=ii, random_accesses_per_item=rand,
+            extra_stall_cycles_per_item=extra,
+        )
+        assert 0.0 <= r.stall_pct < 1.0
+        assert r.seconds > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=st.integers(1, 10**8), ii=st.integers(1, 300))
+    def test_serial_term_additive(self, items, ii):
+        base = timer.time(items, ii=ii)
+        plus = timer.time(items, ii=ii, extra_stall_cycles_per_item=10)
+        expected_delta = items * 10 / (1 - ALVEO_U250.base_stall) / 300e6
+        assert plus.seconds - base.seconds == np.float64(
+            expected_delta
+        ) or abs((plus.seconds - base.seconds) - expected_delta) < 1e-12
+
+
+class TestGPUTimingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        txn=st.integers(0, 10**8),
+        cold=st.integers(0, 10**8),
+        instr=st.integers(0, 10**9),
+    )
+    def test_time_monotone_in_counters(self, txn, cold, instr):
+        cold = min(cold, txn)
+        m1 = KernelMetrics(
+            global_load_transactions=txn,
+            dram_transactions=cold,
+            issue_weighted_transactions=float(txn),
+            footprint_bytes=cold * 128,
+            warp_instructions=instr,
+        )
+        m2 = KernelMetrics(
+            global_load_transactions=txn * 2,
+            dram_transactions=cold * 2,
+            issue_weighted_transactions=float(txn * 2),
+            footprint_bytes=cold * 2 * 128,
+            warp_instructions=instr * 2,
+        )
+        assert gpu_model.time(m2).seconds >= gpu_model.time(m1).seconds
+
+    @settings(max_examples=50, deadline=None)
+    @given(fp=st.integers(0, 10**10), cache=st.integers(1, 10**9))
+    def test_capacity_fraction_bounds(self, fp, cache):
+        f = capacity_miss_fraction(fp, cache)
+        assert 0.0 <= f <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(fp=st.integers(1, 10**9))
+    def test_capacity_fraction_monotone_in_footprint(self, fp):
+        cache = 10**6
+        assert capacity_miss_fraction(fp + 1000, cache) >= (
+            capacity_miss_fraction(fp, cache)
+        )
+
+
+class TestTruncationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 5000), depth=st.integers(1, 9),
+           cut=st.integers(0, 9))
+    def test_truncation_valid_and_bounded(self, seed, depth, cut):
+        tree = random_tree(seed, 6, depth, leaf_prob=0.3)
+        out = truncate_depth(tree, cut)
+        out.validate()
+        assert out.max_depth <= min(cut, tree.max_depth)
+        assert out.n_nodes <= tree.n_nodes
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 5000), depth=st.integers(1, 8))
+    def test_truncation_idempotent(self, seed, depth):
+        tree = random_tree(seed, 6, depth, leaf_prob=0.3)
+        once = truncate_depth(tree, 3)
+        twice = truncate_depth(once, 3)
+        assert twice is once

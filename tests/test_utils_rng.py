@@ -1,0 +1,82 @@
+"""Tests for repro.utils.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, bootstrap_indices, spawn_rngs
+
+
+class TestAsRng:
+    def test_int_seed_deterministic(self):
+        a = as_rng(42).integers(1 << 30, size=10)
+        b = as_rng(42).integers(1 << 30, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(1 << 30, size=10)
+        b = as_rng(2).integers(1 << 30, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(9)
+        a = as_rng(ss)
+        assert isinstance(a, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_independent(self):
+        rngs = spawn_rngs(7, 3)
+        draws = [r.integers(1 << 30, size=8) for r in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_across_calls(self):
+        a = [r.integers(1 << 30, size=4) for r in spawn_rngs(11, 3)]
+        b = [r.integers(1 << 30, size=4) for r in spawn_rngs(11, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(rngs) == 2
+
+
+class TestBootstrapIndices:
+    def test_range_and_size(self):
+        idx = bootstrap_indices(as_rng(0), 100)
+        assert idx.shape == (100,)
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_custom_draw_count(self):
+        idx = bootstrap_indices(as_rng(0), 50, n_draw=10)
+        assert idx.shape == (10,)
+
+    def test_with_replacement(self):
+        # 1000 draws from 10 values must repeat.
+        idx = bootstrap_indices(as_rng(0), 10, n_draw=1000)
+        assert len(np.unique(idx)) <= 10
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_indices(as_rng(0), 0)

@@ -1,0 +1,47 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_basic(self):
+        assert format_float(1.2345) == "1.23"
+
+    def test_digits(self):
+        assert format_float(1.2345, digits=3) == "1.234"
+
+    def test_none(self):
+        assert format_float(None) == "-"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "-"
+
+    def test_non_numeric(self):
+        assert format_float("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.0], ["yy", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        # All lines are the same width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_floats_formatted(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
