@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-smoke experiments report clean-cache loc
+.PHONY: install test faults bench bench-smoke experiments report clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 test-output:
 	pytest tests/ 2>&1 | tee test_output.txt
+
+# Reliability subsystem: fault injection, guarded execution, integrity.
+faults:
+	pytest tests/test_reliability_faults.py tests/test_reliability_guard.py \
+		tests/test_reliability_integrity.py tests/test_forest_io_integrity.py \
+		tests/test_experiments_fault_sweep.py tests/test_failure_injection.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

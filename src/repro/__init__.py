@@ -41,6 +41,11 @@ from repro.layout import (
     LayoutParams,
     verify_layouts,
 )
+from repro.reliability import (
+    FaultPlan,
+    ReliabilityReport,
+    ResilientClassifier,
+)
 
 __version__ = "1.0.0"
 
@@ -63,5 +68,8 @@ __all__ = [
     "LayoutParams",
     "truncate_forest",
     "verify_layouts",
+    "FaultPlan",
+    "ReliabilityReport",
+    "ResilientClassifier",
     "__version__",
 ]

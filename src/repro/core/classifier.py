@@ -20,7 +20,7 @@ cannot silently produce plausible timings.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from repro.kernels import (
 )
 from repro.layout.csr import CSRForest
 from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+from repro.utils.validation import check_array_2d, check_positive_int, check_same_length
 
 _GPU_KERNELS = {
     KernelVariant.CSR: GPUCSRKernel,
@@ -144,6 +145,15 @@ class HierarchicalForestClassifier:
                 )
         return self._layout_cache[key]
 
+    def invalidate_layouts(self) -> None:
+        """Drop every cached layout so the next run rebuilds from the trees.
+
+        The host trees are authoritative; after detected device-buffer
+        corruption (see :mod:`repro.reliability`) this is the "re-upload the
+        forest" recovery action.
+        """
+        self._layout_cache.clear()
+
     # ------------------------------------------------------------------
     # Classification
     # ------------------------------------------------------------------
@@ -153,6 +163,7 @@ class HierarchicalForestClassifier:
         config: RunConfig = RunConfig(),
         y_true: Optional[np.ndarray] = None,
         include_transfer: bool = False,
+        launch_gate: Optional[Callable[[], float]] = None,
     ) -> RunResult:
         """Run one simulated classification and return its result.
 
@@ -163,14 +174,23 @@ class HierarchicalForestClassifier:
         ``include_transfer=True`` adds host-to-device transfer time (query
         round trip; the one-time layout upload goes into ``details``) — the
         paper reports kernel time only, so the default matches the paper.
+
+        ``launch_gate`` is forwarded to the kernel (fault injection /
+        guarded execution; see :mod:`repro.reliability`); with
+        ``config.verify_integrity`` the kernel re-checks the layout's
+        build-time checksums before traversing.
         """
         layout = self.layout_for(config)
+        kernel_kwargs = {
+            "launch_gate": launch_gate,
+            "verify_layout": config.verify_integrity,
+        }
         if config.platform is Platform.GPU:
-            kernel = _GPU_KERNELS[config.variant](spec=self.gpu)
+            kernel = _GPU_KERNELS[config.variant](spec=self.gpu, **kernel_kwargs)
             out = kernel.run(layout, X)
             details = out.summary()
         else:
-            kernel = _FPGA_KERNELS[config.variant](spec=self.fpga)
+            kernel = _FPGA_KERNELS[config.variant](spec=self.fpga, **kernel_kwargs)
             out = kernel.run(layout, X, replication=config.replication)
             details = out.summary()
         if self.verify_against_reference:
@@ -218,11 +238,11 @@ class HierarchicalForestClassifier:
         """
         from repro.core.results import BatchedRunResult
 
-        X = np.ascontiguousarray(X, dtype=np.float32)
-        if X.ndim != 2 or X.shape[0] == 0:
-            raise ValueError("X must be a non-empty 2-D array")
-        if batch_size < 1:
-            raise ValueError("batch_size must be positive")
+        X = check_array_2d(X, "X")
+        check_positive_int(batch_size, "batch_size")
+        if y_true is not None:
+            y_true = np.asarray(y_true)
+            check_same_length(X, y_true, names=("X", "y_true"))
         preds = np.empty(X.shape[0], dtype=np.int64)
         batch_seconds = []
         for lo in range(0, X.shape[0], batch_size):

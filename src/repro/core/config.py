@@ -45,12 +45,18 @@ class RunConfig:
         Hierarchical layout parameters (ignored for CSR / cuML variants).
     replication:
         FPGA CU/SLR replication (ignored on GPU).
+    verify_integrity:
+        Re-verify the layout's build-time checksums before the kernel
+        launches (see :mod:`repro.reliability.integrity`).  Off by default
+        so the clean path pays nothing beyond the one hash at layout build;
+        the reliability guard turns it on per rung.
     """
 
     platform: Platform = Platform.GPU
     variant: KernelVariant = KernelVariant.HYBRID
     layout: LayoutParams = field(default_factory=LayoutParams)
     replication: Replication = field(default_factory=Replication)
+    verify_integrity: bool = False
 
     def __post_init__(self):
         platform = Platform(self.platform)

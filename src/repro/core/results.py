@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.core.config import RunConfig
 from repro.utils.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.guard import ReliabilityReport
 
 
 @dataclass
@@ -23,6 +26,9 @@ class RunResult:
     details: Dict[str, float] = field(default_factory=dict)
     #: Accuracy against ground truth, when labels were supplied.
     accuracy: Optional[float] = None
+    #: Guard accounting (retries, breaker trips, fallback depth) when the
+    #: run went through :class:`~repro.reliability.guard.ResilientClassifier`.
+    reliability: Optional["ReliabilityReport"] = None
 
     @property
     def label(self) -> str:
@@ -45,6 +51,8 @@ class BatchedRunResult:
     batch_seconds: np.ndarray
     batch_size: int
     accuracy: Optional[float] = None
+    #: Aggregated guard accounting across batches (guarded runs only).
+    reliability: Optional["ReliabilityReport"] = None
 
     @property
     def n_batches(self) -> int:

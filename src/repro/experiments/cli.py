@@ -15,6 +15,7 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import (
+    fault_sweep,
     fig5_accuracy,
     fig6_memory,
     fig7_gpu_speedup,
@@ -34,6 +35,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig10": fig10_gpu_vs_fpga.main,
     "table2": table2_rsd.main,
     "table3": table3_fpga.main,
+    #: Not a paper artifact: reliability-subsystem characterisation.
+    "fault-sweep": fault_sweep.main,
 }
 
 

@@ -19,7 +19,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.datasets.profiles import Dataset, PROFILES, load_dataset
-from repro.forest.io import load_forest, save_forest
+from repro.forest.io import ForestIntegrityError, load_forest, save_forest
 from repro.forest.random_forest import RandomForestClassifier
 
 
@@ -134,9 +134,17 @@ def get_forest(
         return _FORESTS[key]
     fname = f"{name}_d{max_depth}_t{n_trees}_r{scale.rows}_s{seed}.npz"
     path = os.path.join(cache_dir(), fname)
+    forest = None
     if os.path.exists(path):
-        forest = load_forest(path)
-    else:
+        try:
+            forest = load_forest(path)
+        except ForestIntegrityError as e:
+            # Self-heal: a truncated/corrupt cache entry (interrupted write,
+            # bit rot) is discarded and retrained rather than poisoning every
+            # experiment that shares it.
+            print(f"[cache] discarding corrupt forest {fname}: {e}")
+            os.remove(path)
+    if forest is None:
         ds = get_dataset(name, scale)
         forest = RandomForestClassifier(
             n_estimators=n_trees, max_depth=max_depth, seed=seed

@@ -1,0 +1,217 @@
+"""Fault sweep — availability and accuracy under injected failures.
+
+Not a paper artifact: this experiment characterises the *reliability
+subsystem* the production service depends on.  For each (kernel variant,
+fault rate) cell it corrupts that fraction of the layout's trees, injects
+transient launch failures and hangs at the same rate, streams the query set
+through a :class:`~repro.reliability.guard.ResilientClassifier`, and
+reports:
+
+* **availability** — fraction of batched requests answered at all (the
+  guard's fallback ladder should hold this at 1.0);
+* **full service** — fraction answered by the requested platform without
+  degradation (this is the curve that decays with fault rate);
+* **accuracy under degradation** — ensemble accuracy with the corrupted
+  trees dropped from the vote, against the clean-run accuracy.
+
+Everything is seeded: the same ``seed`` reproduces the same corrupted
+trees, the same launch-fault sequence and therefore bit-identical rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import RunConfig
+from repro.experiments.common import (
+    band_depths,
+    get_dataset,
+    get_forest,
+    get_scale,
+    queries_for,
+)
+from repro.reliability.faults import FaultPlan
+from repro.reliability.guard import ResilientClassifier
+from repro.utils.ascii_plot import series_chart
+from repro.utils.tables import format_table
+
+DATASET = "susy"
+FAULT_RATES: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.1)
+VARIANTS: Tuple[str, ...] = ("csr", "hybrid")
+#: Per-call deadline (simulated seconds) — generous for clean runs, far
+#: below the injected hang penalty.
+DEADLINE_S = 1.0
+
+
+def _cell_seed(seed: int, variant: str, rate: float) -> int:
+    """Stable per-cell seed so cells are independent and reproducible."""
+    ss = np.random.SeedSequence(
+        [seed, VARIANTS.index(variant) if variant in VARIANTS else 97,
+         int(round(rate * 1_000_000))]
+    )
+    return int(ss.generate_state(1)[0])
+
+
+def run(
+    scale="default",
+    seed: int = 0,
+    fault_rates: Sequence[float] = FAULT_RATES,
+    variants: Sequence[str] = VARIANTS,
+) -> List[Dict]:
+    """Sweep fault rate x variant; one row per cell, fully deterministic."""
+    scale = get_scale(scale)
+    ds = get_dataset(DATASET, scale)
+    depth = band_depths(DATASET, scale)[0]
+    forest = get_forest(DATASET, depth, scale.n_trees, scale, seed=seed)
+    X = queries_for(ds, scale)
+    y = ds.y_test[: X.shape[0]]
+    batch_size = max(64, X.shape[0] // 16)
+
+    rows: List[Dict] = []
+    for variant in variants:
+        config = RunConfig(variant=variant)
+        for rate in fault_rates:
+            cell_seed = _cell_seed(seed, variant, rate)
+            # Fresh classifier per cell: each cell corrupts its own layout.
+            clf = HierarchicalForestClassifier.from_forest(forest)
+            plan = FaultPlan(
+                seed=cell_seed,
+                tree_corruption_rate=rate,
+                launch_fail_rate=rate,
+                launch_hang_rate=rate / 2,
+            )
+            guard = ResilientClassifier(
+                clf,
+                deadline_s=DEADLINE_S,
+                fault_plan=plan,
+                seed=cell_seed,
+                min_quorum_fraction=0.5,
+            )
+            corrupted = plan.corrupt_layout(clf.layout_for(config), rate)
+
+            n_batches = -(-X.shape[0] // batch_size)
+            completed = 0
+            uncaught = 0
+            full_service = 0
+            preds = np.empty(X.shape[0], dtype=np.int64)
+            report = None
+            for lo in range(0, X.shape[0], batch_size):
+                hi = min(lo + batch_size, X.shape[0])
+                try:
+                    res = guard.classify(X[lo:hi], config)
+                except Exception:  # noqa: BLE001 - availability accounting
+                    uncaught += 1
+                    preds[lo:hi] = -1
+                    continue
+                completed += 1
+                preds[lo:hi] = res.predictions
+                r = res.reliability
+                if r.fallback_depth == 0 and not r.degraded:
+                    full_service += 1
+                if report is None:
+                    report = r
+                else:
+                    report.merge(r)
+
+            answered = preds >= 0
+            accuracy = (
+                float(np.mean(preds[answered] == y[answered]))
+                if np.any(answered)
+                else 0.0
+            )
+            breaker_trips = sum(
+                1 for _, _, to in report.breaker_transitions if to == "open"
+            )
+            rows.append(
+                {
+                    "dataset": DATASET,
+                    "variant": variant,
+                    "fault_rate": rate,
+                    "n_requests": n_batches,
+                    "completed": completed,
+                    "uncaught_errors": uncaught,
+                    "availability": completed / n_batches,
+                    "full_service": full_service / n_batches,
+                    "accuracy": accuracy,
+                    "corrupted_trees": len(corrupted),
+                    "dropped_trees": len(report.dropped_trees),
+                    "degraded": bool(report.degraded),
+                    "retries": report.retries,
+                    "transient_failures": report.transient_failures,
+                    "deadline_exceeded": report.deadline_exceeded,
+                    "integrity_failures": report.integrity_failures,
+                    "breaker_trips": breaker_trips,
+                    "breaker_skips": report.breaker_skips,
+                    "max_fallback_depth": report.fallback_depth,
+                }
+            )
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    """Availability/accuracy table per variant plus degradation curves."""
+    out = []
+    variants = sorted({r["variant"] for r in rows})
+    for variant in variants:
+        sub = [r for r in rows if r["variant"] == variant]
+        body = [
+            [
+                r["fault_rate"],
+                r["availability"],
+                r["full_service"],
+                f"{r['accuracy']:.4f}",
+                r["dropped_trees"],
+                r["retries"],
+                r["breaker_trips"],
+                r["max_fallback_depth"],
+            ]
+            for r in sub
+        ]
+        out.append(
+            format_table(
+                [
+                    "fault rate",
+                    "availability",
+                    "full service",
+                    "accuracy",
+                    "dropped",
+                    "retries",
+                    "breaker trips",
+                    "fallback",
+                ],
+                body,
+                title=f"Fault sweep [{variant}] ({DATASET})",
+                float_digits=3,
+            )
+        )
+    rates = sorted({r["fault_rate"] for r in rows})
+    series = {}
+    for variant in variants:
+        by_rate = {
+            r["fault_rate"]: r for r in rows if r["variant"] == variant
+        }
+        series[f"avail:{variant}"] = [by_rate[x]["availability"] for x in rates]
+        series[f"acc:{variant}"] = [by_rate[x]["accuracy"] for x in rates]
+    out.append(
+        series_chart(
+            series,
+            x_labels=[f"{x:g}" for x in rates],
+            title="Availability and accuracy vs fault rate",
+        )
+    )
+    return "\n\n".join(out)
+
+
+def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
+    from repro.experiments.common import save_rows
+
+    rows = run(scale)
+    print(render(rows))
+    scale_name = get_scale(scale).name
+    path = f"results/fault_sweep_{scale_name}.json"
+    save_rows(rows, path)
+    print(f"[rows saved to {path}]")
+    return rows

@@ -5,19 +5,48 @@ the harness caches trained forests on disk.  The format is one compressed
 ``.npz`` holding the concatenated node arrays plus per-tree offsets — the same
 struct-of-arrays discipline used everywhere else, so loading is a handful of
 slices with no per-node Python work.
+
+Format history:
+
+* v1 — node arrays + offsets.
+* v2 — adds per-node ``n_samples``.
+* v3 — adds per-array CRC32 checksums, verified on load.  A silently
+  corrupted cache would poison every experiment that shares it, so damage
+  (truncation, bit rot, interrupted writes) surfaces as a clear
+  :class:`ForestIntegrityError` instead of a cryptic ``zipfile``/``KeyError``
+  deep inside NumPy.  v1/v2 files still load (without checksum coverage).
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Tuple
+import zipfile
+import zlib
+from typing import List
 
 import numpy as np
 
 from repro.forest.random_forest import RandomForestClassifier
 from repro.forest.tree import DecisionTree
+from repro.utils.validation import array_crc32
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+
+#: Arrays covered by the v3 checksums, in stored order.
+_CHECKSUMMED = (
+    "tree_offsets",
+    "feature",
+    "threshold",
+    "left_child",
+    "right_child",
+    "value",
+    "depth",
+    "n_samples",
+)
+
+
+class ForestIntegrityError(ValueError):
+    """A cached forest file is truncated, corrupt, or fails its checksums."""
 
 
 def save_forest(path: str, forest: RandomForestClassifier) -> None:
@@ -27,19 +56,15 @@ def save_forest(path: str, forest: RandomForestClassifier) -> None:
     offsets = np.zeros(len(trees) + 1, dtype=np.int64)
     for i, t in enumerate(trees):
         offsets[i + 1] = offsets[i] + t.n_nodes
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        n_classes=np.int64(forest.n_classes_),
-        n_features=np.int64(forest.n_features_),
-        tree_offsets=offsets,
-        feature=np.concatenate([t.feature for t in trees]),
-        threshold=np.concatenate([t.threshold for t in trees]),
-        left_child=np.concatenate([t.left_child for t in trees]),
-        right_child=np.concatenate([t.right_child for t in trees]),
-        value=np.concatenate([t.value for t in trees]),
-        depth=np.concatenate([t.depth for t in trees]),
-        n_samples=np.concatenate(
+    arrays = {
+        "tree_offsets": offsets,
+        "feature": np.concatenate([t.feature for t in trees]),
+        "threshold": np.concatenate([t.threshold for t in trees]),
+        "left_child": np.concatenate([t.left_child for t in trees]),
+        "right_child": np.concatenate([t.right_child for t in trees]),
+        "value": np.concatenate([t.value for t in trees]),
+        "depth": np.concatenate([t.depth for t in trees]),
+        "n_samples": np.concatenate(
             [
                 t.n_samples
                 if t.n_samples is not None
@@ -47,40 +72,98 @@ def save_forest(path: str, forest: RandomForestClassifier) -> None:
                 for t in trees
             ]
         ),
+    }
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        n_classes=np.int64(forest.n_classes_),
+        n_features=np.int64(forest.n_features_),
+        array_checksums=np.asarray(
+            [array_crc32(arrays[name]) for name in _CHECKSUMMED],
+            dtype=np.uint32,
+        ),
+        **arrays,
     )
 
 
+def _verify_checksums(data, path: str) -> None:
+    """Compare each stored array against its v3 build-time CRC32."""
+    stored = data["array_checksums"]
+    if stored.shape[0] != len(_CHECKSUMMED):
+        raise ForestIntegrityError(
+            f"forest file {path!r}: checksum table has {stored.shape[0]} "
+            f"entries, expected {len(_CHECKSUMMED)}"
+        )
+    bad = [
+        name
+        for name, crc in zip(_CHECKSUMMED, stored)
+        if array_crc32(data[name]) != int(crc)
+    ]
+    if bad:
+        raise ForestIntegrityError(
+            f"forest file {path!r} failed checksum verification for "
+            f"array(s): {', '.join(bad)} — the cache entry is corrupt; "
+            "delete it and retrain"
+        )
+
+
+def _decode(data, path: str) -> RandomForestClassifier:
+    version = int(data["version"])
+    if version not in (1, 2, _FORMAT_VERSION):
+        raise ForestIntegrityError(
+            f"unsupported forest file version {version} "
+            f"(expected <= {_FORMAT_VERSION})"
+        )
+    if version >= 3:
+        _verify_checksums(data, path)
+    offsets = data["tree_offsets"]
+    n_classes = int(data["n_classes"])
+    trees: List[DecisionTree] = []
+    for i in range(len(offsets) - 1):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        n_samples = None
+        if version >= 2:
+            ns = data["n_samples"][lo:hi]
+            if ns[0] >= 0:
+                n_samples = ns
+        trees.append(
+            DecisionTree(
+                feature=data["feature"][lo:hi],
+                threshold=data["threshold"][lo:hi],
+                left_child=data["left_child"][lo:hi],
+                right_child=data["right_child"][lo:hi],
+                value=data["value"][lo:hi],
+                n_classes=n_classes,
+                depth=data["depth"][lo:hi],
+                n_samples=n_samples,
+            )
+        )
+    return RandomForestClassifier.from_trees(trees, int(data["n_features"]))
+
+
 def load_forest(path: str) -> RandomForestClassifier:
-    """Load a forest previously written by :func:`save_forest`."""
+    """Load a forest previously written by :func:`save_forest`.
+
+    Raises :class:`ForestIntegrityError` (a ``ValueError``) when the file is
+    truncated, not a valid archive, missing arrays, or fails its v3
+    checksums; a genuinely missing file still raises ``FileNotFoundError``.
+    """
     if not os.path.exists(path) and os.path.exists(path + ".npz"):
         path = path + ".npz"
-    with np.load(path) as data:
-        version = int(data["version"])
-        if version not in (1, _FORMAT_VERSION):
-            raise ValueError(
-                f"unsupported forest file version {version} "
-                f"(expected <= {_FORMAT_VERSION})"
-            )
-        offsets = data["tree_offsets"]
-        n_classes = int(data["n_classes"])
-        trees: List[DecisionTree] = []
-        for i in range(len(offsets) - 1):
-            lo, hi = int(offsets[i]), int(offsets[i + 1])
-            n_samples = None
-            if version >= 2:
-                ns = data["n_samples"][lo:hi]
-                if ns[0] >= 0:
-                    n_samples = ns
-            trees.append(
-                DecisionTree(
-                    feature=data["feature"][lo:hi],
-                    threshold=data["threshold"][lo:hi],
-                    left_child=data["left_child"][lo:hi],
-                    right_child=data["right_child"][lo:hi],
-                    value=data["value"][lo:hi],
-                    n_classes=n_classes,
-                    depth=data["depth"][lo:hi],
-                    n_samples=n_samples,
-                )
-            )
-        return RandomForestClassifier.from_trees(trees, int(data["n_features"]))
+    try:
+        with np.load(path) as data:
+            return _decode(data, path)
+    except (ForestIntegrityError, FileNotFoundError):
+        raise
+    except (
+        zipfile.BadZipFile,
+        zlib.error,
+        KeyError,
+        EOFError,
+        OSError,
+        ValueError,  # numpy's own "corrupt array data" reader errors
+    ) as e:
+        raise ForestIntegrityError(
+            f"forest file {path!r} is truncated or corrupt "
+            f"({type(e).__name__}: {e}) — delete the cache entry and retrain"
+        ) from e

@@ -11,8 +11,8 @@ correctness contract (``run`` returns real predictions).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -95,10 +95,17 @@ class GPUKernel(ABC):
         spec: GPUSpec = TITAN_XP,
         timing_model: Optional[TimingModel] = None,
         record_trace: bool = False,
+        launch_gate: Optional[Callable[[], float]] = None,
+        verify_layout: bool = False,
     ):
         self.spec = spec
         self.timing_model = timing_model or TimingModel(spec)
         self.record_trace = bool(record_trace)
+        #: Called at launch; may raise (failed launch) or return simulated
+        #: hang seconds.  Wired up by the reliability guard / fault plans.
+        self.launch_gate = launch_gate
+        #: Re-verify the layout's build-time checksums before traversing.
+        self.verify_layout = bool(verify_layout)
         #: TraceLog of the most recent run (when record_trace is set).
         self.trace = None
 
@@ -106,6 +113,13 @@ class GPUKernel(ABC):
     def run(self, layout, X: np.ndarray) -> GPUKernelResult:
         """Classify ``X`` against ``layout``, accumulating counters."""
         X = check_array_2d(X, "X")
+        hang_s = 0.0
+        if self.launch_gate is not None:
+            hang_s = float(self.launch_gate() or 0.0)
+        if self.verify_layout:
+            from repro.reliability.integrity import verify_layout_integrity
+
+            verify_layout_integrity(layout)
         metrics = KernelMetrics(launches=1)
         if self.record_trace:
             from repro.gpusim.trace import TraceLog
@@ -117,6 +131,8 @@ class GPUKernel(ABC):
         self._run(layout, X, grid, metrics, votes)
         timing = self.timing_model.time(metrics)
         timing = self._finalize_timing(timing, grid, metrics)
+        if hang_s > 0.0:
+            timing = replace(timing, seconds=timing.seconds + hang_s)
         site_stats = {
             name: {
                 "requests": tr.requests,

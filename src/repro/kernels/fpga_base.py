@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -27,10 +27,12 @@ class FPGAKernelResult:
     predictions: np.ndarray
     votes: np.ndarray
     pipeline: PipelineResult
+    #: Extra simulated seconds from an injected hang (reliability testing).
+    penalty_s: float = 0.0
 
     @property
     def seconds(self) -> float:
-        return self.pipeline.seconds
+        return self.pipeline.seconds + self.penalty_s
 
     @property
     def stall_pct(self) -> float:
@@ -45,9 +47,19 @@ class FPGAKernel(ABC):
 
     name: str = "fpga-base"
 
-    def __init__(self, spec: FPGASpec = ALVEO_U250):
+    def __init__(
+        self,
+        spec: FPGASpec = ALVEO_U250,
+        launch_gate: Optional[Callable[[], float]] = None,
+        verify_layout: bool = False,
+    ):
         self.spec = spec
         self.timer = PipelineTimer(spec)
+        #: Called at launch; may raise (failed launch) or return simulated
+        #: hang seconds.  Wired up by the reliability guard / fault plans.
+        self.launch_gate = launch_gate
+        #: Re-verify the layout's build-time checksums before traversing.
+        self.verify_layout = bool(verify_layout)
 
     def run(
         self,
@@ -57,10 +69,20 @@ class FPGAKernel(ABC):
     ) -> FPGAKernelResult:
         """Classify ``X`` and time the pipeline under ``replication``."""
         X = check_array_2d(X, "X")
+        hang_s = 0.0
+        if self.launch_gate is not None:
+            hang_s = float(self.launch_gate() or 0.0)
+        if self.verify_layout:
+            from repro.reliability.integrity import verify_layout_integrity
+
+            verify_layout_integrity(layout)
         votes = np.zeros((X.shape[0], layout.n_classes), dtype=np.int64)
         pipeline = self._run(layout, X, replication, votes)
         return FPGAKernelResult(
-            predictions=votes.argmax(axis=1), votes=votes, pipeline=pipeline
+            predictions=votes.argmax(axis=1),
+            votes=votes,
+            pipeline=pipeline,
+            penalty_s=hang_s,
         )
 
     @abstractmethod

@@ -16,7 +16,7 @@ addresses), exactly as the paper's CUDA code would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -53,10 +53,16 @@ class CSRForest:
     tree_node_offset: np.ndarray
     tree_children_offset: np.ndarray
     n_classes: int
+    #: Build-time CRC32 digests of the node buffers (see
+    #: :mod:`repro.reliability.integrity`); ``None`` when built with
+    #: ``with_integrity=False``.
+    integrity: Optional[object] = None
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_trees(cls, trees: Sequence[DecisionTree]) -> "CSRForest":
+    def from_trees(
+        cls, trees: Sequence[DecisionTree], with_integrity: bool = True
+    ) -> "CSRForest":
         """Build the CSR layout from trained trees."""
         if len(trees) == 0:
             raise ValueError("need at least one tree")
@@ -82,7 +88,7 @@ class CSRForest:
             ca_parts.append(ca)
             node_off[t + 1] = node_off[t] + tree.n_nodes
             child_off[t + 1] = child_off[t] + 2 * n_inner
-        return cls(
+        layout = cls(
             feature_id=np.concatenate(feature_parts),
             value=np.concatenate(value_parts),
             children_arr_idx=np.concatenate(caidx_parts),
@@ -91,6 +97,11 @@ class CSRForest:
             tree_children_offset=child_off,
             n_classes=max(t.n_classes for t in trees),
         )
+        if with_integrity:
+            from repro.reliability.integrity import attach_integrity
+
+            attach_integrity(layout)
+        return layout
 
     # ------------------------------------------------------------------
     @property

@@ -23,7 +23,7 @@ kernels can map slot indices to byte addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -101,13 +101,20 @@ class HierarchicalForest:
     subtree_tree: np.ndarray
     params: LayoutParams
     n_classes: int
+    #: Build-time CRC32 digests of the node buffers (see
+    #: :mod:`repro.reliability.integrity`); ``None`` when built with
+    #: ``with_integrity=False``.
+    integrity: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def from_trees(
-        cls, trees: Sequence[DecisionTree], params: LayoutParams = LayoutParams()
+        cls,
+        trees: Sequence[DecisionTree],
+        params: LayoutParams = LayoutParams(),
+        with_integrity: bool = True,
     ) -> "HierarchicalForest":
         """Partition ``trees`` into complete subtrees and pack the arrays."""
         if len(trees) == 0:
@@ -190,7 +197,7 @@ class HierarchicalForest:
             if conn_parts
             else np.empty(0, dtype=np.int64)
         ).astype(np.int32)
-        return cls(
+        layout = cls(
             feature_id=np.concatenate(feat_parts),
             value=np.concatenate(val_parts),
             subtree_node_offset=np.asarray(node_offsets, dtype=np.int64),
@@ -202,6 +209,11 @@ class HierarchicalForest:
             params=params,
             n_classes=max(t.n_classes for t in trees),
         )
+        if with_integrity:
+            from repro.reliability.integrity import attach_integrity
+
+            attach_integrity(layout)
+        return layout
 
     # ------------------------------------------------------------------
     # Properties / stats

@@ -1,0 +1,491 @@
+"""Guarded execution: deadlines, retries, circuit breakers, fallback ladder.
+
+:class:`ResilientClassifier` wraps a
+:class:`~repro.core.classifier.HierarchicalForestClassifier` with the
+hardening a production inference service needs:
+
+* **per-call deadline** on simulated device seconds — a hanging launch is a
+  :class:`DeadlineExceededError`, not a stuck request;
+* **retry with seeded exponential backoff + jitter** for transient launch
+  failures (backoff accrues as simulated seconds, never a real sleep);
+* **per-platform circuit breaker** — after ``failure_threshold`` consecutive
+  rung failures a platform stops being tried for ``recovery_after`` calls,
+  then gets one half-open probe;
+* **fallback ladder** — requested platform → other accelerator → CPU
+  ``reference_predict`` (the host trees are authoritative, so the bottom
+  rung always answers);
+* **degraded ensemble voting** — when pre-launch checksum verification
+  catches corrupted buffers, intact trees above the configured quorum keep
+  serving (see :mod:`repro.reliability.integrity`);
+* a structured :class:`ReliabilityReport` on every result, with exact
+  counters for retries, breaker transitions, fallback depth and dropped
+  trees.
+
+All randomness (jitter) is seeded and all "time" is simulated, so any fault
+scenario replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.core.results import BatchedRunResult, RunResult
+from repro.forest.metrics import accuracy_score
+from repro.reliability.faults import FaultPlan, TransientKernelError
+from repro.reliability.integrity import (
+    LayoutIntegrityError,
+    QuorumLostError,
+    attach_integrity,
+    degraded_predict,
+)
+from repro.utils.validation import check_array_2d, check_positive_int, check_same_length
+
+
+class DeadlineExceededError(RuntimeError):
+    """A run's simulated seconds overran the per-call deadline."""
+
+
+class AllRungsFailedError(RuntimeError):
+    """Every rung of the fallback ladder failed (should be unreachable
+    while the CPU rung exists)."""
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter (simulated seconds)."""
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.005
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self):
+        check_positive_int(self.max_attempts, "max_attempts")
+        if self.base_backoff_s < 0 or self.jitter_fraction < 0:
+            raise ValueError("backoff and jitter must be non-negative")
+        if self.backoff_multiplier < 1:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_seconds(self, retry_index: int, rng: np.random.Generator) -> float:
+        """Backoff before retry ``retry_index`` (0-based), with jitter."""
+        base = self.base_backoff_s * self.backoff_multiplier**retry_index
+        return base * (1.0 + self.jitter_fraction * float(rng.random()))
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a platform's breaker opens and how it recovers."""
+
+    failure_threshold: int = 3
+    recovery_after: int = 8
+
+    def __post_init__(self):
+        check_positive_int(self.failure_threshold, "failure_threshold")
+        check_positive_int(self.recovery_after, "recovery_after")
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-platform breaker with a transition log.
+
+    OPEN counts *skipped* calls; after ``recovery_after`` skips the next
+    call is allowed through as a HALF_OPEN probe.  A successful probe closes
+    the breaker, a failed one re-opens it immediately.
+    """
+
+    def __init__(self, policy: BreakerPolicy, name: str):
+        self.policy = policy
+        self.name = name
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._skips_while_open = 0
+        #: Every (from, to) transition since construction.
+        self.transitions: List[Tuple[str, str]] = []
+
+    def _move(self, state: BreakerState) -> Tuple[str, str]:
+        old = self.state
+        self.state = state
+        self.transitions.append((old.value, state.value))
+        return (old.value, state.value)
+
+    def allow(self) -> bool:
+        """May the next call use this platform?  (Counts OPEN skips.)"""
+        if self.state is BreakerState.OPEN:
+            self._skips_while_open += 1
+            if self._skips_while_open >= self.policy.recovery_after:
+                self._move(BreakerState.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> Optional[Tuple[str, str]]:
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            return self._move(BreakerState.CLOSED)
+        return None
+
+    def record_failure(self) -> Optional[Tuple[str, str]]:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._skips_while_open = 0
+            return self._move(BreakerState.OPEN)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class ReliabilityReport:
+    """Exact accounting of what the guard did for one (or many) calls."""
+
+    #: Kernel-launch attempts made (includes the successful one).
+    attempts: int = 0
+    #: Attempts that were retries of a failed attempt.
+    retries: int = 0
+    transient_failures: int = 0
+    deadline_exceeded: int = 0
+    integrity_failures: int = 0
+    #: Rungs skipped because the platform's breaker was open.
+    breaker_skips: int = 0
+    #: Simulated seconds spent in backoff (never a real sleep).
+    backoff_seconds: float = 0.0
+    #: 0 = requested platform served, 1 = other accelerator, 2 = CPU.
+    fallback_depth: int = 0
+    platform_used: str = ""
+    degraded: bool = False
+    dropped_trees: Tuple[int, ...] = ()
+    #: (breaker name, from-state, to-state) in occurrence order.
+    breaker_transitions: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Post-transfer checksum verifications performed.
+    transfer_verifications: int = 0
+    #: Calls merged into this report (1 for a single classify).
+    calls: int = 1
+
+    def note_transition(
+        self, name: str, move: Optional[Tuple[str, str]]
+    ) -> None:
+        if move is not None:
+            self.breaker_transitions.append((name, move[0], move[1]))
+
+    def merge(self, other: "ReliabilityReport") -> None:
+        """Accumulate ``other`` (per-batch report) into this aggregate."""
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.transient_failures += other.transient_failures
+        self.deadline_exceeded += other.deadline_exceeded
+        self.integrity_failures += other.integrity_failures
+        self.breaker_skips += other.breaker_skips
+        self.backoff_seconds += other.backoff_seconds
+        self.fallback_depth = max(self.fallback_depth, other.fallback_depth)
+        self.platform_used = other.platform_used or self.platform_used
+        self.degraded = self.degraded or other.degraded
+        self.dropped_trees = tuple(
+            sorted(set(self.dropped_trees) | set(other.dropped_trees))
+        )
+        self.breaker_transitions.extend(other.breaker_transitions)
+        self.transfer_verifications += other.transfer_verifications
+        self.calls += other.calls
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "transient_failures": self.transient_failures,
+            "deadline_exceeded": self.deadline_exceeded,
+            "integrity_failures": self.integrity_failures,
+            "breaker_skips": self.breaker_skips,
+            "backoff_seconds": self.backoff_seconds,
+            "fallback_depth": self.fallback_depth,
+            "platform_used": self.platform_used,
+            "degraded": self.degraded,
+            "dropped_trees": list(self.dropped_trees),
+            "breaker_transitions": list(self.breaker_transitions),
+            "transfer_verifications": self.transfer_verifications,
+            "calls": self.calls,
+        }
+
+
+# ----------------------------------------------------------------------
+# The guard itself
+# ----------------------------------------------------------------------
+#: Crude host-traversal cost used for the CPU rung and degraded voting —
+#: simulated seconds per (query, tree-level) step, keeping every rung's
+#: ``seconds`` deterministic and comparable.
+CPU_SECONDS_PER_NODE = 5e-9
+
+
+def _cpu_seconds(n_queries: int, trees) -> float:
+    levels = sum(int(t.depth.max()) + 1 for t in trees)
+    return n_queries * levels * CPU_SECONDS_PER_NODE
+
+
+class ResilientClassifier:
+    """Failure-hardened front end over :class:`HierarchicalForestClassifier`.
+
+    Parameters
+    ----------
+    classifier:
+        The wrapped (fitted) classifier.
+    deadline_s:
+        Per-call budget on simulated device seconds; ``None`` disables it.
+    retry, breaker:
+        Retry/backoff and circuit-breaker policies.
+    min_quorum_fraction:
+        Minimum fraction of intact trees required for degraded voting.
+    fault_plan:
+        Optional :class:`~repro.reliability.faults.FaultPlan` whose
+        ``launch_gate`` is wired into every kernel launch.
+    seed:
+        Seeds the jitter generator (determinism of backoff accounting).
+    verify_before_launch / verify_after_transfer:
+        Enable the two checksum re-verification points.
+    """
+
+    #: Ladder order per requested platform; "cpu" is always the last rung.
+    _LADDERS = {
+        Platform.GPU: (Platform.GPU, Platform.FPGA),
+        Platform.FPGA: (Platform.FPGA, Platform.GPU),
+    }
+
+    def __init__(
+        self,
+        classifier,
+        deadline_s: Optional[float] = None,
+        retry: RetryPolicy = RetryPolicy(),
+        breaker: BreakerPolicy = BreakerPolicy(),
+        min_quorum_fraction: float = 0.5,
+        fault_plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        verify_before_launch: bool = True,
+        verify_after_transfer: bool = True,
+    ):
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.inner = classifier
+        self.deadline_s = deadline_s
+        self.retry = retry
+        self.min_quorum_fraction = min_quorum_fraction
+        self.fault_plan = fault_plan
+        self.verify_before_launch = bool(verify_before_launch)
+        self.verify_after_transfer = bool(verify_after_transfer)
+        self._rng = np.random.default_rng(seed)
+        self.breakers: Dict[Platform, CircuitBreaker] = {
+            p: CircuitBreaker(breaker, p.value) for p in Platform
+        }
+        self._transfer_verified: set = set()
+
+    # ------------------------------------------------------------------
+    def _rung_config(self, config: RunConfig, platform: Platform) -> RunConfig:
+        """The config to run on ``platform``, preserving what transfers."""
+        variant = config.variant
+        if platform is Platform.FPGA and variant is KernelVariant.CUML:
+            variant = KernelVariant.HYBRID  # cuML baseline is GPU-only
+        return replace(
+            config,
+            platform=platform,
+            variant=variant,
+            verify_integrity=self.verify_before_launch,
+        )
+
+    def notify_layout_rebuild(self) -> None:
+        """Forget which layouts passed post-transfer verification.
+
+        Call after ``inner.invalidate_layouts()`` (or any other layout
+        rebuild) so the freshly built buffers get their own readback check.
+        """
+        self._transfer_verified.clear()
+
+    def _verify_transfer(self, config: RunConfig, report: ReliabilityReport):
+        """Post-transfer readback check, once per distinct layout."""
+        layout = self.inner.layout_for(config)
+        if id(layout) not in self._transfer_verified:
+            report.transfer_verifications += 1
+            self._transfer_verified.add(id(layout))
+            attach_integrity(layout).check(layout)
+        return layout
+
+    def _attempt(
+        self, X: np.ndarray, config: RunConfig, report: ReliabilityReport
+    ) -> RunResult:
+        """One guarded kernel launch on one rung."""
+        if self.verify_after_transfer:
+            self._verify_transfer(config, report)
+        gate = self.fault_plan.launch_gate if self.fault_plan else None
+        res = self.inner.classify(X, config, launch_gate=gate)
+        if self.deadline_s is not None and res.seconds > self.deadline_s:
+            raise DeadlineExceededError(
+                f"run took {res.seconds:.6f}s simulated "
+                f"(deadline {self.deadline_s:.6f}s)"
+            )
+        return res
+
+    def _degraded(
+        self, X: np.ndarray, config: RunConfig, report: ReliabilityReport
+    ) -> Optional[RunResult]:
+        """Quorum voting over the rung's intact trees; None if quorum lost."""
+        layout = self.inner.layout_for(config)
+        integ = attach_integrity(layout)
+        alive = integ.surviving_trees(layout)
+        try:
+            preds, dropped = degraded_predict(
+                layout, X, alive, self.min_quorum_fraction
+            )
+        except QuorumLostError:
+            return None
+        report.degraded = True
+        report.dropped_trees = tuple(
+            sorted(set(report.dropped_trees) | set(dropped))
+        )
+        frac = float(alive.sum()) / max(1, layout.n_trees)
+        seconds = _cpu_seconds(X.shape[0], self.inner.trees) * frac
+        return RunResult(
+            config=config,
+            predictions=preds,
+            seconds=seconds,
+            details={
+                "mode": "degraded-quorum",
+                "trees_alive": int(alive.sum()),
+                "trees_dropped": len(dropped),
+            },
+        )
+
+    def _cpu_rung(self, X: np.ndarray, config: RunConfig) -> RunResult:
+        """Bottom of the ladder: authoritative host trees, always answers."""
+        preds = self.inner.predict(X)
+        return RunResult(
+            config=config,
+            predictions=preds,
+            seconds=_cpu_seconds(X.shape[0], self.inner.trees),
+            details={"mode": "cpu-fallback"},
+        )
+
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        X: np.ndarray,
+        config: RunConfig = RunConfig(),
+        y_true: Optional[np.ndarray] = None,
+    ) -> RunResult:
+        """Guarded classification: never raises for injected fault kinds.
+
+        Walks the fallback ladder until a rung produces predictions; the
+        attached :class:`ReliabilityReport` says exactly what it took.
+        """
+        X = check_array_2d(X, "X")
+        if y_true is not None:
+            y_true = np.asarray(y_true)
+            check_same_length(X, y_true, names=("X", "y_true"))
+        report = ReliabilityReport()
+        result: Optional[RunResult] = None
+        ladder = self._LADDERS[config.platform]
+        for depth, platform in enumerate(ladder):
+            breaker = self.breakers[platform]
+            if not breaker.allow():
+                report.breaker_skips += 1
+                continue
+            rung_cfg = self._rung_config(config, platform)
+            result = self._run_rung(X, rung_cfg, breaker, report)
+            if result is not None:
+                report.fallback_depth = depth
+                report.platform_used = platform.value
+                break
+        if result is None:
+            result = self._cpu_rung(X, config)
+            report.fallback_depth = len(ladder)
+            report.platform_used = "cpu"
+        if y_true is not None:
+            result.accuracy = accuracy_score(y_true, result.predictions)
+        result.reliability = report
+        return result
+
+    def _run_rung(
+        self,
+        X: np.ndarray,
+        config: RunConfig,
+        breaker: CircuitBreaker,
+        report: ReliabilityReport,
+    ) -> Optional[RunResult]:
+        """Retry loop on one platform; None means the rung gave up."""
+        for attempt in range(self.retry.max_attempts):
+            report.attempts += 1
+            try:
+                res = self._attempt(X, config, report)
+                report.note_transition(breaker.name, breaker.record_success())
+                return res
+            except TransientKernelError:
+                report.transient_failures += 1
+            except DeadlineExceededError:
+                report.deadline_exceeded += 1
+            except LayoutIntegrityError:
+                # Corruption is persistent — retrying the same buffers is
+                # pointless.  Salvage via quorum voting or fail the rung.
+                report.integrity_failures += 1
+                res = self._degraded(X, config, report)
+                if res is not None:
+                    report.note_transition(
+                        breaker.name, breaker.record_success()
+                    )
+                    return res
+                break
+            if attempt < self.retry.max_attempts - 1:
+                report.retries += 1
+                report.backoff_seconds += self.retry.backoff_seconds(
+                    attempt, self._rng
+                )
+        report.note_transition(breaker.name, breaker.record_failure())
+        return None
+
+    # ------------------------------------------------------------------
+    def classify_batched(
+        self,
+        X: np.ndarray,
+        config: RunConfig = RunConfig(),
+        batch_size: int = 4096,
+        y_true: Optional[np.ndarray] = None,
+    ) -> BatchedRunResult:
+        """Guarded batched classification with an aggregated report."""
+        X = check_array_2d(X, "X")
+        check_positive_int(batch_size, "batch_size")
+        if y_true is not None:
+            y_true = np.asarray(y_true)
+            check_same_length(X, y_true, names=("X", "y_true"))
+        preds = np.empty(X.shape[0], dtype=np.int64)
+        batch_seconds = []
+        aggregate: Optional[ReliabilityReport] = None
+        for lo in range(0, X.shape[0], batch_size):
+            hi = min(lo + batch_size, X.shape[0])
+            res = self.classify(X[lo:hi], config)
+            preds[lo:hi] = res.predictions
+            batch_seconds.append(res.seconds)
+            if aggregate is None:
+                aggregate = res.reliability
+            else:
+                aggregate.merge(res.reliability)
+        accuracy = None
+        if y_true is not None:
+            accuracy = accuracy_score(y_true, preds)
+        return BatchedRunResult(
+            config=config,
+            predictions=preds,
+            batch_seconds=np.asarray(batch_seconds),
+            batch_size=batch_size,
+            accuracy=accuracy,
+            reliability=aggregate,
+        )

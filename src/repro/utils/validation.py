@@ -7,6 +7,7 @@ boundary rather than deep inside a simulator loop.
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
 import numpy as np
@@ -47,6 +48,17 @@ def check_in_range(value, name: str, low, high) -> float:
     if not (low <= value <= high):
         raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
     return value
+
+
+def array_crc32(arr: np.ndarray, start: int = 0) -> int:
+    """CRC32 of an array's raw bytes (C order), as an unsigned 32-bit int.
+
+    ``start`` chains checksums across several arrays (``zlib.crc32`` running
+    value), which is how per-tree checksums cover a tree's slices of every
+    node buffer with one digest.  The checksum covers values only, not dtype
+    or shape — callers that need those guarantees must check them separately.
+    """
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes(), start) & 0xFFFFFFFF
 
 
 def check_same_length(*arrays: Sequence, names: Sequence[str] = ()) -> int:

@@ -1,0 +1,87 @@
+"""Edge cases of HierarchicalForestClassifier.classify_batched."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import RunConfig
+
+
+@pytest.fixture(scope="module")
+def clf_and_data(trained_small):
+    clf_src, _, _, Xte, yte = trained_small
+    clf = HierarchicalForestClassifier.from_forest(clf_src)
+    return clf, Xte[:200], yte[:200]
+
+
+CONFIG = RunConfig(variant="hybrid")
+
+
+class TestBatchGeometry:
+    def test_batch_larger_than_queries_is_one_batch(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        res = clf.classify_batched(X, CONFIG, batch_size=10 * X.shape[0])
+        assert res.n_batches == 1
+        assert res.predictions.shape == (X.shape[0],)
+
+    def test_partial_final_batch(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        res = clf.classify_batched(X, CONFIG, batch_size=64)  # 200 = 3*64 + 8
+        assert res.n_batches == 4
+        assert res.batch_seconds.shape == (4,)
+        # The short final batch costs less simulated time than a full one.
+        assert res.batch_seconds[-1] < res.batch_seconds[:-1].min()
+
+    def test_exact_division(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        res = clf.classify_batched(X[:192], CONFIG, batch_size=64)
+        assert res.n_batches == 3
+
+    def test_batch_size_one(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        res = clf.classify_batched(X[:5], CONFIG, batch_size=1)
+        assert res.n_batches == 5
+        assert np.array_equal(res.predictions, clf.predict(X[:5]))
+
+
+class TestEquivalence:
+    def test_identical_to_single_shot(self, clf_and_data):
+        clf, X, y = clf_and_data
+        single = clf.classify(X, CONFIG, y_true=y)
+        batched = clf.classify_batched(X, CONFIG, batch_size=33, y_true=y)
+        assert np.array_equal(batched.predictions, single.predictions)
+        assert batched.accuracy == single.accuracy
+
+    def test_total_seconds_close_to_single_shot(self, clf_and_data):
+        """Batching only re-pays per-launch overhead, not traversal work."""
+        clf, X, _ = clf_and_data
+        single = clf.classify(X, CONFIG)
+        batched = clf.classify_batched(X, CONFIG, batch_size=50)
+        assert batched.total_seconds >= single.seconds * 0.5
+        assert batched.total_seconds <= single.seconds * 20
+
+
+class TestValidation:
+    def test_y_true_length_mismatch(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        with pytest.raises(ValueError, match="y_true"):
+            clf.classify_batched(X, CONFIG, batch_size=64, y_true=np.zeros(7))
+
+    def test_nonpositive_batch_size(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        with pytest.raises(ValueError, match="batch_size"):
+            clf.classify_batched(X, CONFIG, batch_size=0)
+        with pytest.raises(TypeError, match="batch_size"):
+            clf.classify_batched(X, CONFIG, batch_size=2.5)
+
+    def test_nan_queries_rejected(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        bad = X[:4].copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="X"):
+            clf.classify_batched(bad, CONFIG, batch_size=2)
+
+    def test_empty_queries_rejected(self, clf_and_data):
+        clf, X, _ = clf_and_data
+        with pytest.raises(ValueError, match="X"):
+            clf.classify_batched(np.empty((0, X.shape[1])), CONFIG)

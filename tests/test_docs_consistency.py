@@ -65,6 +65,9 @@ class TestReferencedArtifactsExist:
             "fig10": "bench_fig10_gpu_vs_fpga.py",
             "table2": "bench_table2_rsd.py",
             "table3": "bench_table3_fpga.py",
+            # Not a paper artifact; its clean-path cost bound lives in
+            # bench_reliability_overhead.py.
+            "fault-sweep": "bench_reliability_overhead.py",
         }
         assert set(mapping) == set(EXPERIMENTS)
         for bench in mapping.values():

@@ -1,0 +1,107 @@
+"""Fault-sweep experiment: determinism and the availability guarantee."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import common, fault_sweep
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _tmp_cache(tmp_path_factory):
+    """Keep trained-forest caching out of the repo's shared cache dir."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("cache"))
+    common.clear_memo()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+    common.clear_memo()
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fault_sweep.run(
+        scale="smoke", seed=0, fault_rates=(0.0, 0.01), variants=("hybrid",)
+    )
+
+
+class TestDeterminism:
+    def test_identical_rows_for_fixed_seed(self, rows):
+        again = fault_sweep.run(
+            scale="smoke", seed=0, fault_rates=(0.0, 0.01), variants=("hybrid",)
+        )
+        assert rows == again
+
+    def test_different_seed_may_differ_but_stays_available(self):
+        rows = fault_sweep.run(
+            scale="smoke", seed=1, fault_rates=(0.01,), variants=("hybrid",)
+        )
+        assert rows[0]["availability"] == 1.0
+
+
+class TestAvailability:
+    def test_zero_fault_rate_is_full_service(self, rows):
+        clean = rows[0]
+        assert clean["fault_rate"] == 0.0
+        assert clean["availability"] == 1.0
+        assert clean["full_service"] == 1.0
+        assert clean["uncaught_errors"] == 0
+        assert clean["corrupted_trees"] == 0
+        assert clean["dropped_trees"] == 0
+        assert clean["retries"] == 0
+        assert clean["transient_failures"] == 0
+        assert clean["integrity_failures"] == 0
+        assert clean["max_fallback_depth"] == 0
+
+    def test_one_percent_faults_complete_every_request(self, rows):
+        """The ISSUE acceptance bar: 1% corruption, zero dropped requests."""
+        faulty = rows[1]
+        assert faulty["fault_rate"] == 0.01
+        assert faulty["availability"] == 1.0
+        assert faulty["uncaught_errors"] == 0
+        assert faulty["completed"] == faulty["n_requests"]
+        assert 0.0 < faulty["accuracy"] <= 1.0
+
+
+class TestRowShape:
+    def test_rows_are_json_serialisable(self, rows):
+        json.dumps(rows)
+
+    def test_expected_columns(self, rows):
+        expected = {
+            "dataset",
+            "variant",
+            "fault_rate",
+            "n_requests",
+            "completed",
+            "uncaught_errors",
+            "availability",
+            "full_service",
+            "accuracy",
+            "corrupted_trees",
+            "dropped_trees",
+            "degraded",
+            "retries",
+            "transient_failures",
+            "deadline_exceeded",
+            "integrity_failures",
+            "breaker_trips",
+            "breaker_skips",
+            "max_fallback_depth",
+        }
+        assert set(rows[0]) == expected
+
+    def test_render_mentions_each_variant_and_rate(self, rows):
+        text = fault_sweep.render(rows)
+        assert "hybrid" in text
+        assert "availability" in text
+        assert "0.01" in text
+
+    def test_registered_in_cli(self):
+        from repro.experiments.cli import EXPERIMENTS
+
+        assert EXPERIMENTS["fault-sweep"] is fault_sweep.main

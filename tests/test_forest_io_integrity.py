@@ -1,0 +1,149 @@
+"""Forest cache format v3: checksums, clear corruption errors, back-compat."""
+
+import numpy as np
+import pytest
+
+from repro.forest.io import (
+    _CHECKSUMMED,
+    _FORMAT_VERSION,
+    ForestIntegrityError,
+    load_forest,
+    save_forest,
+)
+from repro.utils.validation import array_crc32
+
+
+@pytest.fixture()
+def saved(tmp_path, trained_small):
+    clf, *_ = trained_small
+    path = str(tmp_path / "forest.npz")
+    save_forest(path, clf)
+    return path, clf
+
+
+class TestV3Format:
+    def test_roundtrip(self, saved, trained_small):
+        path, clf = saved
+        _, _, _, Xte, _ = trained_small
+        loaded = load_forest(path)
+        assert loaded.n_classes_ == clf.n_classes_
+        assert np.array_equal(loaded.predict(Xte), clf.predict(Xte))
+
+    def test_file_carries_version_and_checksums(self, saved):
+        path, _ = saved
+        with np.load(path) as data:
+            assert int(data["version"]) == _FORMAT_VERSION == 3
+            crcs = data["array_checksums"]
+            assert crcs.dtype == np.uint32
+            assert crcs.shape == (len(_CHECKSUMMED),)
+            for name, crc in zip(_CHECKSUMMED, crcs):
+                assert array_crc32(data[name]) == int(crc)
+
+
+def _resave(path, mutate):
+    """Rewrite the npz with ``mutate(payload)`` applied to its raw arrays."""
+    with np.load(path) as data:
+        payload = {name: data[name] for name in data.files}
+    mutate(payload)
+    np.savez_compressed(path[: -len(".npz")], **payload)
+
+
+class TestCorruptionErrors:
+    def test_truncated_file(self, saved):
+        path, _ = saved
+        size = __import__("os").path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size // 2)
+        with pytest.raises(ForestIntegrityError, match="corrupt"):
+            load_forest(path)
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip file, not even close")
+        with pytest.raises(ForestIntegrityError):
+            load_forest(str(path))
+
+    def test_missing_array(self, saved):
+        path, _ = saved
+        _resave(path, lambda p: p.pop("feature"))
+        with pytest.raises(ForestIntegrityError):
+            load_forest(path)
+
+    def test_stale_checksums_name_the_array(self, saved):
+        """Payload altered but checksum table untouched -> named mismatch."""
+        path, _ = saved
+
+        def swap_threshold(p):
+            p["threshold"] = p["threshold"] + np.float64(1.0)
+
+        _resave(path, swap_threshold)
+        with pytest.raises(ForestIntegrityError, match="threshold"):
+            load_forest(path)
+
+    def test_wrong_checksum_table_length(self, saved):
+        path, _ = saved
+        _resave(
+            path,
+            lambda p: p.update(
+                array_checksums=np.zeros(2, dtype=np.uint32)
+            ),
+        )
+        with pytest.raises(ForestIntegrityError, match="checksum table"):
+            load_forest(path)
+
+    def test_unsupported_version(self, saved):
+        path, _ = saved
+        _resave(path, lambda p: p.update(version=np.int64(99)))
+        with pytest.raises(ForestIntegrityError, match="version"):
+            load_forest(path)
+
+    def test_integrity_error_is_a_value_error(self):
+        assert issubclass(ForestIntegrityError, ValueError)
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_forest(str(tmp_path / "nope.npz"))
+
+
+class TestBackCompat:
+    def test_v2_files_load_without_checksums(self, saved, trained_small):
+        path, clf = saved
+        _, _, _, Xte, _ = trained_small
+
+        def to_v2(p):
+            p.pop("array_checksums")
+            p["version"] = np.int64(2)
+
+        _resave(path, to_v2)
+        loaded = load_forest(path)
+        assert np.array_equal(loaded.predict(Xte), clf.predict(Xte))
+        assert loaded.trees_[0].n_samples is not None
+
+    def test_v1_files_load_without_n_samples(self, saved, trained_small):
+        path, clf = saved
+        _, _, _, Xte, _ = trained_small
+
+        def to_v1(p):
+            p.pop("array_checksums")
+            p.pop("n_samples")
+            p["version"] = np.int64(1)
+
+        _resave(path, to_v1)
+        loaded = load_forest(path)
+        assert np.array_equal(loaded.predict(Xte), clf.predict(Xte))
+        assert loaded.trees_[0].n_samples is None
+
+    def test_v2_corruption_still_caught_by_zip_layer(self, saved):
+        """Pre-checksum formats still get the clear error on bit rot."""
+        path, _ = saved
+
+        def to_v2(p):
+            p.pop("array_checksums")
+            p["version"] = np.int64(2)
+
+        _resave(path, to_v2)
+        from repro.reliability.faults import FaultPlan
+
+        FaultPlan(seed=8).corrupt_file(path, mode="flip", n_bytes=16)
+        with pytest.raises((ForestIntegrityError,)):
+            load_forest(path)

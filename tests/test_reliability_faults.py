@@ -1,0 +1,133 @@
+"""Deterministic fault injection: bit flips, file damage, launch faults."""
+
+import numpy as np
+import pytest
+
+from repro.forest.io import ForestIntegrityError, load_forest, save_forest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+from repro.reliability.faults import FaultEvent, FaultPlan, TransientKernelError
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tree_corruption_rate": 1.5},
+            {"launch_fail_rate": -0.1},
+            {"launch_hang_rate": 2.0},
+            {"launch_fail_rate": 0.7, "launch_hang_rate": 0.7},
+            {"hang_seconds": 0.0},
+        ],
+    )
+    def test_bad_rates_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, **kwargs)
+
+
+class TestLayoutCorruption:
+    def test_rate_zero_touches_nothing(self, small_trees):
+        h = HierarchicalForest.from_trees(small_trees, LayoutParams(4))
+        plan = FaultPlan(seed=1)
+        assert plan.corrupt_layout(h, 0.0) == ()
+        assert not h.integrity.verify_arrays(h)
+
+    def test_rate_one_hits_every_tree(self, small_trees):
+        h = HierarchicalForest.from_trees(small_trees, LayoutParams(4))
+        plan = FaultPlan(seed=1)
+        corrupted = plan.corrupt_layout(h, 1.0)
+        assert corrupted == tuple(range(h.n_trees))
+        assert not h.integrity.surviving_trees(h).any()
+
+    def test_checksums_localise_exactly_the_corrupted_trees(self, small_trees):
+        h = HierarchicalForest.from_trees(small_trees, LayoutParams(4))
+        plan = FaultPlan(seed=42, tree_corruption_rate=0.4)
+        corrupted = plan.corrupt_layout(h)
+        assert 1 <= len(corrupted) < h.n_trees  # seed chosen to hit some
+        alive = h.integrity.surviving_trees(h)
+        assert tuple(np.flatnonzero(~alive)) == corrupted
+
+    def test_same_seed_same_damage(self, small_trees):
+        a = HierarchicalForest.from_trees(small_trees, LayoutParams(4))
+        b = HierarchicalForest.from_trees(small_trees, LayoutParams(4))
+        hit_a = FaultPlan(seed=9, tree_corruption_rate=0.5).corrupt_layout(a)
+        hit_b = FaultPlan(seed=9, tree_corruption_rate=0.5).corrupt_layout(b)
+        assert hit_a == hit_b
+        assert np.array_equal(a.feature_id, b.feature_id)
+        assert np.array_equal(a.value, b.value)
+        assert np.array_equal(a.subtree_connection, b.subtree_connection)
+
+    def test_events_recorded(self, small_trees):
+        h = HierarchicalForest.from_trees(small_trees, LayoutParams(4))
+        plan = FaultPlan(seed=1)
+        plan.corrupt_layout(h, 1.0)
+        assert len(plan.events) == h.n_trees
+        assert all(e.kind == "bitflip" for e in plan.events)
+        assert all(e.target.startswith("tree") for e in plan.events)
+
+
+class TestFileCorruption:
+    @pytest.fixture()
+    def cache_path(self, tmp_path, trained_small):
+        clf, *_ = trained_small
+        path = str(tmp_path / "forest.npz")
+        save_forest(path, clf)
+        return path
+
+    def test_clean_roundtrip(self, cache_path, trained_small):
+        clf, _, _, Xte, _ = trained_small
+        loaded = load_forest(cache_path)
+        assert np.array_equal(loaded.predict(Xte), clf.predict(Xte))
+
+    def test_bit_flips_surface_clearly(self, cache_path):
+        FaultPlan(seed=3).corrupt_file(cache_path, mode="flip", n_bytes=8)
+        with pytest.raises(ForestIntegrityError):
+            load_forest(cache_path)
+
+    def test_truncation_surfaces_clearly(self, cache_path):
+        FaultPlan(seed=3).corrupt_file(cache_path, mode="truncate")
+        with pytest.raises(ForestIntegrityError, match="corrupt"):
+            load_forest(cache_path)
+
+    def test_unknown_mode(self, cache_path):
+        with pytest.raises(ValueError, match="mode"):
+            FaultPlan(seed=3).corrupt_file(cache_path, mode="swap")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            FaultPlan(seed=3).corrupt_file(str(path))
+
+
+class TestLaunchFaults:
+    def test_fail_rate_one_always_raises(self):
+        plan = FaultPlan(seed=0, launch_fail_rate=1.0)
+        for _ in range(5):
+            with pytest.raises(TransientKernelError):
+                plan.launch_gate()
+        assert all(e.kind == "launch-fail" for e in plan.events)
+
+    def test_hang_rate_one_always_penalises(self):
+        plan = FaultPlan(seed=0, launch_hang_rate=1.0, hang_seconds=42.0)
+        for _ in range(5):
+            assert plan.launch_gate() == 42.0
+        assert all(e.kind == "launch-hang" for e in plan.events)
+
+    def test_zero_rates_are_a_noop(self):
+        plan = FaultPlan(seed=0)
+        for _ in range(5):
+            assert plan.launch_gate() == 0.0
+        assert plan.events == []
+
+    def test_fault_sequence_is_seeded(self):
+        a = FaultPlan(seed=11, launch_fail_rate=0.3, launch_hang_rate=0.3)
+        b = FaultPlan(seed=11, launch_fail_rate=0.3, launch_hang_rate=0.3)
+        seq_a = [a.next_launch_fault() for _ in range(64)]
+        seq_b = [b.next_launch_fault() for _ in range(64)]
+        assert seq_a == seq_b
+        assert set(seq_a) <= {"fail", "hang", None}
+
+    def test_events_are_frozen_records(self):
+        e = FaultEvent(kind="bitflip", target="tree0/value")
+        with pytest.raises(AttributeError):
+            e.kind = "other"

@@ -1,0 +1,319 @@
+"""ResilientClassifier: deadlines, retries, breakers, fallback, degradation.
+
+Every scenario asserts the :class:`ReliabilityReport` counters *exactly* —
+the report is the subsystem's observable contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.core.config import Platform, RunConfig
+from repro.reliability.faults import FaultPlan
+from repro.reliability.guard import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    ReliabilityReport,
+    ResilientClassifier,
+    RetryPolicy,
+)
+from repro.reliability.integrity import attach_integrity, degraded_predict
+
+
+@pytest.fixture()
+def guarded(trained_small):
+    """Fresh wrapped classifier (layouts are mutated by fault tests)."""
+    clf_src, _, _, Xte, yte = trained_small
+
+    def make(**kwargs):
+        clf = HierarchicalForestClassifier.from_forest(clf_src)
+        return ResilientClassifier(clf, **kwargs), clf, Xte[:128], yte[:128]
+
+    return make
+
+
+def _corrupt_tree(layout, t):
+    """Flip one bit in tree ``t``'s root-subtree feature buffer."""
+    st = int(layout.tree_root_subtree[t])
+    lo = int(layout.subtree_node_offset[st])
+    layout.feature_id[lo] ^= 1
+
+
+class TestCleanPath:
+    def test_counters_on_success(self, guarded):
+        guard, clf, X, y = guarded()
+        res = guard.classify(X, RunConfig(variant="hybrid"), y_true=y)
+        r = res.reliability
+        assert r.attempts == 1
+        assert r.retries == 0
+        assert r.transient_failures == 0
+        assert r.deadline_exceeded == 0
+        assert r.integrity_failures == 0
+        assert r.breaker_skips == 0
+        assert r.fallback_depth == 0
+        assert r.platform_used == "gpu"
+        assert not r.degraded
+        assert r.dropped_trees == ()
+        assert r.breaker_transitions == []
+        assert r.backoff_seconds == 0.0
+        assert r.transfer_verifications == 1
+        assert np.array_equal(res.predictions, clf.predict(X))
+        assert res.accuracy == pytest.approx(float(np.mean(clf.predict(X) == y)))
+
+    def test_transfer_verified_once_per_layout(self, guarded):
+        guard, _, X, _ = guarded()
+        config = RunConfig(variant="hybrid")
+        first = guard.classify(X, config)
+        second = guard.classify(X, config)
+        assert first.reliability.transfer_verifications == 1
+        assert second.reliability.transfer_verifications == 0
+
+    def test_fpga_request_served_on_fpga(self, guarded):
+        guard, _, X, _ = guarded()
+        res = guard.classify(X, RunConfig(platform="fpga", variant="csr"))
+        assert res.reliability.platform_used == "fpga"
+        assert res.reliability.fallback_depth == 0
+
+
+class TestTransientFailures:
+    def test_retries_then_success_possible(self, guarded):
+        # fail rate 0 => no retries consumed; sanity for the plan wiring
+        guard, _, X, _ = guarded(fault_plan=FaultPlan(seed=0))
+        res = guard.classify(X, RunConfig(variant="hybrid"))
+        assert res.reliability.attempts == 1
+
+    def test_all_launches_fail_lands_on_cpu(self, guarded):
+        guard, clf, X, _ = guarded(
+            fault_plan=FaultPlan(seed=0, launch_fail_rate=1.0)
+        )
+        res = guard.classify(X, RunConfig(variant="hybrid"))
+        r = res.reliability
+        # 3 attempts on gpu + 3 on fpga, 2 retries per rung.
+        assert r.attempts == 6
+        assert r.retries == 4
+        assert r.transient_failures == 6
+        assert r.deadline_exceeded == 0
+        assert r.fallback_depth == 2
+        assert r.platform_used == "cpu"
+        assert r.backoff_seconds > 0.0
+        # hybrid gpu/fpga share one layout -> verified exactly once
+        assert r.transfer_verifications == 1
+        assert np.array_equal(res.predictions, clf.predict(X))
+        assert res.details["mode"] == "cpu-fallback"
+        assert res.seconds > 0.0
+
+    def test_backoff_accounting_is_seeded(self, guarded):
+        totals = []
+        for _ in range(2):
+            guard, _, X, _ = guarded(
+                fault_plan=FaultPlan(seed=5, launch_fail_rate=1.0), seed=7
+            )
+            res = guard.classify(X, RunConfig(variant="hybrid"))
+            totals.append(res.reliability.backoff_seconds)
+        assert totals[0] == totals[1]
+        # 4 retries of exponential backoff with bounded jitter
+        policy = RetryPolicy()
+        lo = 2 * (policy.base_backoff_s * (1 + policy.backoff_multiplier))
+        assert lo <= totals[0] <= lo * (1 + policy.jitter_fraction)
+
+
+class TestDeadline:
+    def test_rejects_nonpositive_deadline(self, guarded):
+        with pytest.raises(ValueError, match="deadline"):
+            guarded(deadline_s=0.0)
+
+    def test_hangs_exceed_deadline_then_cpu(self, guarded):
+        guard, clf, X, _ = guarded(
+            deadline_s=1.0,
+            fault_plan=FaultPlan(seed=0, launch_hang_rate=1.0, hang_seconds=60.0),
+        )
+        res = guard.classify(X, RunConfig(variant="hybrid"))
+        r = res.reliability
+        assert r.deadline_exceeded == 6
+        assert r.transient_failures == 0
+        assert r.attempts == 6
+        assert r.retries == 4
+        assert r.platform_used == "cpu"
+        assert np.array_equal(res.predictions, clf.predict(X))
+
+    def test_generous_deadline_passes_clean_run(self, guarded):
+        guard, _, X, _ = guarded(deadline_s=10.0)
+        res = guard.classify(X, RunConfig(variant="hybrid"))
+        assert res.reliability.deadline_exceeded == 0
+        assert res.reliability.fallback_depth == 0
+
+
+class TestDegradedQuorum:
+    def test_corruption_drops_exactly_the_bad_trees(self, guarded):
+        guard, clf, X, _ = guarded()
+        config = RunConfig(variant="hybrid")
+        layout = clf.layout_for(config)
+        for t in (2, 7):
+            _corrupt_tree(layout, t)
+        res = guard.classify(X, config)
+        r = res.reliability
+        assert r.integrity_failures == 1
+        assert r.degraded
+        assert r.dropped_trees == (2, 7)
+        assert r.attempts == 1
+        assert r.retries == 0  # corruption is persistent: no retry
+        assert r.fallback_depth == 0
+        assert r.platform_used == "gpu"
+        assert res.details["mode"] == "degraded-quorum"
+        assert res.details["trees_alive"] == layout.n_trees - 2
+        # Predictions equal quorum voting over the surviving trees.
+        alive = attach_integrity(layout).surviving_trees(layout)
+        expect, dropped = degraded_predict(layout, X, alive, 0.5)
+        assert dropped == (2, 7)
+        assert np.array_equal(res.predictions, expect)
+
+    def test_quorum_lost_walks_the_ladder_to_cpu(self, guarded):
+        guard, clf, X, _ = guarded(min_quorum_fraction=0.5)
+        config = RunConfig(variant="hybrid")
+        layout = clf.layout_for(config)
+        for t in range(6):  # 4/10 alive < quorum of 5
+            _corrupt_tree(layout, t)
+        res = guard.classify(X, config)
+        r = res.reliability
+        # gpu and fpga share the corrupted hybrid layout; both rungs fail
+        # their pre-launch check and cannot salvage a quorum.
+        assert r.integrity_failures == 2
+        assert r.attempts == 2
+        assert not r.degraded
+        assert r.fallback_depth == 2
+        assert r.platform_used == "cpu"
+        assert np.array_equal(res.predictions, clf.predict(X))
+
+    def test_low_quorum_still_serves_degraded(self, guarded):
+        guard, clf, X, _ = guarded(min_quorum_fraction=0.2)
+        config = RunConfig(variant="hybrid")
+        layout = clf.layout_for(config)
+        for t in range(6):
+            _corrupt_tree(layout, t)
+        res = guard.classify(X, config)
+        assert res.reliability.degraded
+        assert res.reliability.dropped_trees == tuple(range(6))
+        assert res.reliability.fallback_depth == 0
+
+
+class TestCircuitBreaker:
+    def test_unit_transitions(self):
+        b = CircuitBreaker(BreakerPolicy(failure_threshold=2, recovery_after=2), "gpu")
+        assert b.allow()
+        assert b.record_failure() is None
+        assert b.record_failure() == ("closed", "open")
+        assert not b.allow()  # skip 1
+        assert b.allow()  # skip 2 -> half-open probe
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.record_failure() == ("half-open", "open")
+        assert not b.allow()
+        assert b.allow()
+        assert b.record_success() == ("half-open", "closed")
+        assert b.record_success() is None
+
+    def test_breaker_opens_then_recovers(self, guarded):
+        guard, _, X, _ = guarded(
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerPolicy(failure_threshold=1, recovery_after=2),
+            fault_plan=FaultPlan(seed=0, launch_fail_rate=1.0),
+        )
+        config = RunConfig(variant="hybrid")
+
+        # Call 1: both rungs fail once each; both breakers trip.
+        r1 = guard.classify(X, config).reliability
+        assert r1.attempts == 2
+        assert r1.retries == 0
+        assert r1.breaker_transitions == [
+            ("gpu", "closed", "open"),
+            ("fpga", "closed", "open"),
+        ]
+        assert r1.platform_used == "cpu"
+
+        # Call 2: both breakers open -> no attempts, straight to cpu.
+        r2 = guard.classify(X, config).reliability
+        assert r2.attempts == 0
+        assert r2.breaker_skips == 2
+        assert r2.breaker_transitions == []
+        assert r2.platform_used == "cpu"
+
+        # Call 3: recovery_after reached -> half-open probes, which fail.
+        r3 = guard.classify(X, config).reliability
+        assert r3.attempts == 2
+        assert r3.breaker_skips == 0
+        assert r3.breaker_transitions == [
+            ("gpu", "half-open", "open"),
+            ("fpga", "half-open", "open"),
+        ]
+
+        # Faults cleared: next probe succeeds and closes the gpu breaker.
+        guard.fault_plan = None
+        r4 = guard.classify(X, config).reliability  # still open: skipped
+        assert r4.breaker_skips == 2
+        r5 = guard.classify(X, config).reliability
+        assert r5.platform_used == "gpu"
+        assert r5.fallback_depth == 0
+        assert ("gpu", "half-open", "closed") in r5.breaker_transitions
+        assert guard.breakers[Platform.GPU].state is BreakerState.CLOSED
+
+
+class TestReportPlumbing:
+    def test_merge_accumulates(self):
+        a = ReliabilityReport(attempts=2, retries=1, dropped_trees=(1,))
+        b = ReliabilityReport(
+            attempts=3,
+            fallback_depth=2,
+            degraded=True,
+            dropped_trees=(0, 1),
+            platform_used="cpu",
+        )
+        a.merge(b)
+        assert a.attempts == 5
+        assert a.retries == 1
+        assert a.fallback_depth == 2
+        assert a.degraded
+        assert a.dropped_trees == (0, 1)
+        assert a.platform_used == "cpu"
+        assert a.calls == 2
+
+    def test_as_dict_roundtrips_counters(self):
+        r = ReliabilityReport(attempts=4, retries=2, platform_used="gpu")
+        d = r.as_dict()
+        assert d["attempts"] == 4
+        assert d["retries"] == 2
+        assert d["platform_used"] == "gpu"
+        assert isinstance(d["dropped_trees"], list)
+
+
+class TestGuardedBatched:
+    def test_clean_batched_matches_single_shot(self, guarded):
+        guard, clf, X, y = guarded()
+        config = RunConfig(variant="hybrid")
+        batched = guard.classify_batched(X, config, batch_size=50, y_true=y)
+        assert batched.n_batches == 3
+        r = batched.reliability
+        assert r.calls == 3
+        assert r.attempts == 3
+        assert r.transfer_verifications == 1  # first batch only
+        assert r.fallback_depth == 0
+        assert np.array_equal(batched.predictions, clf.predict(X))
+
+    def test_batched_under_faults_stays_available(self, guarded):
+        guard, clf, X, _ = guarded(
+            fault_plan=FaultPlan(seed=0, launch_fail_rate=1.0)
+        )
+        batched = guard.classify_batched(X, RunConfig(variant="hybrid"), batch_size=64)
+        r = batched.reliability
+        assert r.calls == 2
+        assert r.attempts == 12  # 6 per batch
+        assert r.fallback_depth == 2
+        assert np.array_equal(batched.predictions, clf.predict(X))
+
+    def test_input_validation(self, guarded):
+        guard, _, X, _ = guarded()
+        with pytest.raises(ValueError, match="y_true"):
+            guard.classify_batched(X, batch_size=64, y_true=np.zeros(3))
+        with pytest.raises(ValueError, match="batch_size"):
+            guard.classify_batched(X, batch_size=0)
+        with pytest.raises(ValueError, match="X"):
+            guard.classify(np.array([[np.nan, 1.0]]))
