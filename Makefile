@@ -1,12 +1,20 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test faults bench bench-smoke experiments report clean-cache loc
+.PHONY: install test lint statcheck faults bench bench-smoke experiments report clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Static checks: generic style (ruff, if installed) + the repo's own
+# AST analyzer (docs/architecture.md §7).
+lint: statcheck
+	-ruff check src tests
+
+statcheck:
+	PYTHONPATH=src python -m repro.statcheck src
 
 test-output:
 	pytest tests/ 2>&1 | tee test_output.txt

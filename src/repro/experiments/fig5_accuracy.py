@@ -43,7 +43,10 @@ def run(scale="default", datasets=DATASETS, seed: int = 0) -> List[Dict]:
     max_trees = max(scale.fig5_tree_counts)
     for name in datasets:
         ds = get_dataset(name, scale)
-        deep = RandomForestClassifier(
+        # Deliberately NOT get_forest: the whole grid is carved out of one
+        # bespoke deepest/widest forest via truncation/prefixing, which the
+        # shared (depth, trees) cache key cannot express.
+        deep = RandomForestClassifier(  # statcheck: disable=API001 grid trick
             n_estimators=max_trees, max_depth=max_depth, seed=seed
         ).fit(ds.X_train, ds.y_train)
         for depth in scale.fig5_depths:
@@ -74,7 +77,7 @@ def render(rows: List[Dict]) -> str:
         sub = [r for r in rows if r["dataset"] == name]
         depths = sorted({r["depth"] for r in sub})
         counts = sorted({r["n_trees"] for r in sub})
-        grid = np.full((len(depths), len(counts)), np.nan)
+        grid = np.full((len(depths), len(counts)), np.nan, dtype=np.float64)
         for r in sub:
             grid[depths.index(r["depth"]), counts.index(r["n_trees"])] = r[
                 "accuracy"

@@ -102,6 +102,18 @@ class WarpGrid:
         metrics.active_lanes += int(np.count_nonzero(active))
         metrics.lane_slots += warps * self.warp_size
 
+    def record_sync(self, metrics: KernelMetrics, instructions: int = 1) -> None:
+        """Account one block-wide barrier (``__syncthreads`` analogue).
+
+        Kernels must call this between cooperatively staging shared memory
+        and the first shared-memory read; the statcheck KRN003 rule
+        verifies the ordering statically.  The barrier issues one
+        instruction per warp; its serialisation cost is modelled by the
+        kernels' own critical-path accounting (e.g. SYNC_CYCLES).
+        """
+        metrics.block_syncs += 1
+        metrics.warp_instructions += instructions * self.n_warps
+
     def record_branch(
         self,
         metrics: KernelMetrics,

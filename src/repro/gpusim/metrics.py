@@ -46,6 +46,10 @@ class KernelMetrics:
     #: Bytes cooperatively staged into shared memory (hybrid stage 1 /
     #: collaborative batches).
     bytes_staged_shared: int = 0
+    #: Block-wide barriers executed (__syncthreads analogue).  Every
+    #: staging-write -> shared-read path must cross one; the statcheck
+    #: KRN003 race rule enforces this statically.
+    block_syncs: int = 0
     #: Distinct global bytes touched (segment granularity); drives the
     #: timing model's L2 capacity correction.
     footprint_bytes: int = 0
@@ -94,6 +98,7 @@ class KernelMetrics:
             "active_lanes",
             "lane_slots",
             "bytes_staged_shared",
+            "block_syncs",
             "footprint_bytes",
             "launches",
         ):
@@ -116,6 +121,7 @@ class KernelMetrics:
             "warp_instructions": self.warp_instructions,
             "warp_efficiency": self.warp_efficiency,
             "bytes_staged_shared": self.bytes_staged_shared,
+            "block_syncs": self.block_syncs,
             "footprint_bytes": self.footprint_bytes,
             "coalescing_ratio": self.coalescing_ratio,
             "launches": self.launches,

@@ -183,7 +183,7 @@ class GPUKernel(ABC):
         """Add one tree's per-query class labels into the vote table."""
         if np.any(labels < 0):
             raise RuntimeError("traversal left some queries unclassified")
-        votes[np.arange(labels.shape[0]), labels] += 1
+        votes[np.arange(labels.shape[0], dtype=np.int64), labels] += 1
 
     def _query_addresses(
         self,

@@ -95,4 +95,4 @@ class FPGAKernel(ABC):
     def _accumulate_votes(votes: np.ndarray, labels: np.ndarray) -> None:
         if np.any(labels < 0):
             raise RuntimeError("traversal left some queries unclassified")
-        votes[np.arange(labels.shape[0]), labels] += 1
+        votes[np.arange(labels.shape[0], dtype=np.int64), labels] += 1

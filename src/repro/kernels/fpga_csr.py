@@ -39,7 +39,7 @@ class FPGACSRKernel(FPGAKernel):
         if not isinstance(layout, CSRForest):
             raise TypeError("FPGACSRKernel expects a CSRForest layout")
         n = X.shape[0]
-        rows = np.arange(n)
+        rows = np.arange(n, dtype=np.int64)
         total_visits = 0
         for t in range(layout.n_trees):
             visits, labels = self._tree_visits(layout, X, t, rows)

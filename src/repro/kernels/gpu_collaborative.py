@@ -142,6 +142,10 @@ class GPUCollaborativeKernel(GPUKernel):
             self.INSTR_PER_STAGE_ITER * stage_iters * grid.n_warps
         )
         self._serial_cycles += self.STAGE_CYCLES * stage_iters
+        # Barrier between the cooperative batch load and the presence-check
+        # traversal reads of the staged subtrees.
+        grid.record_sync(metrics)
+        self._serial_cycles += self.SYNC_CYCLES
 
     def _process_subtree(
         self, layout, X, s, present, st, local, out, active,

@@ -110,6 +110,9 @@ class GPUHybridKernel(GPUIndependentKernel):
             * stage_iters
             * grid.n_warps  # every warp participates in staging
         )
+        # Block barrier fencing the staged nodes before stage 1 reads them
+        # from shared memory (the __syncthreads after the cooperative load).
+        grid.record_sync(metrics)
 
     # ------------------------------------------------------------------
     def _stage1(self, layout, X, t, grid, metrics, space, trackers, rows):

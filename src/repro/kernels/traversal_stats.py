@@ -58,7 +58,7 @@ def traverse_tree_stats(
     crossings = np.zeros(n, dtype=np.int64)
     stage1 = np.zeros(n, dtype=np.int64)
     active = np.ones(n, dtype=bool)
-    rows = np.arange(n)
+    rows = np.arange(n, dtype=np.int64)
     while np.any(active):
         g = layout.subtree_node_offset[st] + local
         feats = np.where(active, layout.feature_id[g], EMPTY)

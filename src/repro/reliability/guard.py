@@ -43,6 +43,7 @@ from repro.reliability.integrity import (
     attach_integrity,
     degraded_predict,
 )
+from repro.utils.rng import as_rng
 from repro.utils.validation import check_array_2d, check_positive_int, check_same_length
 
 
@@ -285,7 +286,7 @@ class ResilientClassifier:
         self.fault_plan = fault_plan
         self.verify_before_launch = bool(verify_before_launch)
         self.verify_after_transfer = bool(verify_after_transfer)
-        self._rng = np.random.default_rng(seed)
+        self._rng = as_rng(seed)
         self.breakers: Dict[Platform, CircuitBreaker] = {
             p: CircuitBreaker(breaker, p.value) for p in Platform
         }

@@ -1,0 +1,40 @@
+"""``repro.statcheck`` — repo-specific static analysis for the simulator.
+
+A small Python-AST rule engine plus four rule families that encode the
+invariants the reproduction's *performance* conclusions depend on (see
+``docs/architecture.md`` § Static checks):
+
+* **DET** (determinism) — all randomness through ``repro.utils.rng``, no
+  wall-clock reads, no unordered-set iteration in result-producing code.
+* **KRN** (kernel discipline) — global loads in the simulated GPU kernels
+  go through ``AddressSpace``/tracker sites, lane writes in divergent
+  regions are mask-guarded, and shared-memory staging is fenced by a sync
+  before it is read (static race detection over the warp-lockstep DSL).
+* **NUM** (numeric safety) — explicit dtypes, no silent float64 upcasts in
+  hot packages, checksummed ``.npz`` persistence.
+* **API** (hygiene) — experiments route through ``experiments.common``.
+
+Run it as ``python -m repro.statcheck src`` (see :mod:`repro.statcheck.cli`).
+"""
+
+from repro.statcheck.core import (
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    check_file,
+    check_paths,
+    check_source,
+    register,
+)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "register",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.statcheck``."""
+
+import sys
+
+from repro.statcheck.cli import main
+
+sys.exit(main())

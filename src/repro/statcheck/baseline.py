@@ -1,0 +1,88 @@
+"""Checked-in violation baseline for incremental adoption.
+
+The baseline is a JSON map ``"<path>::<rule>" -> count``.  A run fails only
+where a (file, rule) group *exceeds* its baselined count — so existing debt
+is tolerated, new debt is not, and paying debt down can never fail the
+check.  ``python -m repro.statcheck --write-baseline`` refreshes the file;
+the policy (enforced by the checked-in file, see CONTRIBUTING.md) is that
+``repro/kernels/`` and ``repro/gpusim/`` carry **zero** baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.statcheck.core import Violation
+
+DEFAULT_BASELINE = "statcheck-baseline.json"
+
+
+def _key(path: str, rule_id: str) -> str:
+    return f"{path.replace(os.sep, '/')}::{rule_id}"
+
+
+def group_counts(violations: List[Violation]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for v in violations:
+        k = _key(v.path, v.rule_id)
+        counts[k] = counts.get(k, 0) + 1
+    return counts
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    counts = data.get("counts", {})
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def write_baseline(path: str, violations: List[Violation]) -> None:
+    payload = {
+        "version": 1,
+        "note": (
+            "statcheck debt baseline: counts of tolerated pre-existing "
+            "violations per (file, rule). Regenerate with "
+            "`python -m repro.statcheck src --write-baseline`. "
+            "Policy: no entries under repro/kernels/ or repro/gpusim/."
+        ),
+        "counts": dict(sorted(group_counts(violations).items())),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=1)
+        f.write("\n")
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of comparing a run against a baseline."""
+
+    #: Violations in groups that exceed their baselined count.
+    new: List[Violation] = field(default_factory=list)
+    #: Number of violations absorbed by the baseline.
+    absorbed: int = 0
+    #: Baseline keys whose debt shrank or vanished (stale entries).
+    stale: List[Tuple[str, int, int]] = field(default_factory=list)
+
+
+def apply_baseline(
+    violations: List[Violation], baseline: Dict[str, int]
+) -> BaselineResult:
+    """Split violations into new-vs-absorbed against ``baseline`` counts."""
+    result = BaselineResult()
+    groups: Dict[str, List[Violation]] = {}
+    for v in violations:
+        groups.setdefault(_key(v.path, v.rule_id), []).append(v)
+    for key, group in sorted(groups.items()):
+        allowed = baseline.get(key, 0)
+        if len(group) > allowed:
+            result.new.extend(group)
+        else:
+            result.absorbed += len(group)
+    for key, allowed in sorted(baseline.items()):
+        actual = len(groups.get(key, ()))
+        if actual < allowed:
+            result.stale.append((key, allowed, actual))
+    return result

@@ -1,0 +1,129 @@
+"""``python -m repro.statcheck`` — the statcheck command line.
+
+Exit codes: 0 = clean (possibly via baseline), 1 = new violations,
+2 = usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.statcheck import baseline as baseline_mod
+from repro.statcheck.core import all_rules, check_file, iter_python_files
+from repro.statcheck.reporters import render_json, render_rule_list, render_text
+
+
+def _select_rules(select: Optional[str], ignore: Optional[str]):
+    rules = all_rules()
+    if select:
+        wanted = {s.strip() for s in select.split(",") if s.strip()}
+        unknown = wanted - set(rules)
+        if unknown:
+            raise SystemExit(f"statcheck: unknown rule(s): {sorted(unknown)}")
+        rules = {k: v for k, v in rules.items() if k in wanted}
+    if ignore:
+        dropped = {s.strip() for s in ignore.split(",") if s.strip()}
+        rules = {k: v for k, v in rules.items() if k not in dropped}
+    return list(rules.values())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statcheck",
+        description="Repo-specific static analysis: determinism, kernel "
+        "discipline, numeric safety and API hygiene "
+        "(see docs/architecture.md § Static checks).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON (default: ./statcheck-baseline.json if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every violation",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current violations as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    try:
+        rules = _select_rules(args.select, args.ignore)
+    except SystemExit as e:
+        print(e, file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"statcheck: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    violations = []
+    files_checked = 0
+    for f in iter_python_files(args.paths):
+        files_checked += 1
+        violations.extend(check_file(f, rules=rules))
+
+    baseline_path = args.baseline or (
+        baseline_mod.DEFAULT_BASELINE
+        if os.path.exists(baseline_mod.DEFAULT_BASELINE)
+        else None
+    )
+
+    if args.write_baseline:
+        target = args.baseline or baseline_mod.DEFAULT_BASELINE
+        baseline_mod.write_baseline(target, violations)
+        print(
+            f"statcheck: wrote baseline with "
+            f"{len(baseline_mod.group_counts(violations))} group(s) "
+            f"({len(violations)} violations) to {target}"
+        )
+        return 0
+
+    result = None
+    new = violations
+    if baseline_path and not args.no_baseline:
+        try:
+            counts = baseline_mod.load_baseline(baseline_path)
+        except (OSError, ValueError) as e:
+            print(f"statcheck: cannot read baseline {baseline_path}: {e}",
+                  file=sys.stderr)
+            return 2
+        result = baseline_mod.apply_baseline(violations, counts)
+        new = result.new
+
+    render = render_json if args.format == "json" else render_text
+    print(render(new, result, files_checked))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,3 @@
+"""Rule families: determinism (DET), kernel discipline (KRN), numeric
+safety (NUM) and API hygiene (API).  Importing a module registers its rules
+with :mod:`repro.statcheck.core`."""

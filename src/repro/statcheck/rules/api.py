@@ -1,0 +1,107 @@
+"""API rules — experiment-harness hygiene.
+
+Every table/figure module must obtain data and forests through
+``repro.experiments.common``: that is where scale validation, dataset
+memoisation and the on-disk forest cache live.  A module that trains or
+loads directly gets silently different (uncached, unvalidated) inputs and
+breaks wall-clock parity across experiments that share forests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutils import call_name, last_segment
+from repro.statcheck.core import FileContext, Rule, Violation, register
+
+EXPERIMENTS_PREFIX = ("repro/experiments/",)
+EXEMPT = ("repro/experiments/common.py", "repro/experiments/__init__.py")
+
+#: Callables that bypass the harness cache when used outside common.py.
+CACHE_BYPASS = {
+    "repro.datasets.profiles.load_dataset",
+    "repro.forest.io.load_forest",
+    "repro.forest.io.save_forest",
+    "repro.forest.random_forest.RandomForestClassifier",
+}
+
+#: common.py helpers that constitute "going through the harness".
+COMMON_HELPERS = {
+    "get_scale",
+    "get_dataset",
+    "get_forest",
+    "band_depths",
+    "queries_for",
+}
+
+
+@register
+class CachingBypassRule(Rule):
+    id = "API001"
+    summary = (
+        "experiments must use experiments.common (get_dataset/get_forest) "
+        "instead of training or loading directly"
+    )
+    path_prefixes = EXPERIMENTS_PREFIX
+    exempt_modules = EXEMPT
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, ctx.aliases)
+            if name in CACHE_BYPASS or last_segment(name) in {
+                last_segment(b) for b in CACHE_BYPASS
+            }:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"direct {last_segment(name)}() call bypasses the "
+                    "experiment cache and its input validation; use "
+                    "repro.experiments.common.get_dataset/get_forest",
+                )
+
+
+@register
+class UnvalidatedEntryRule(Rule):
+    id = "API002"
+    summary = (
+        "experiment run() entry points must resolve inputs through "
+        "experiments.common (validated scales, memoised data)"
+    )
+    path_prefixes = EXPERIMENTS_PREFIX
+    exempt_modules = EXEMPT
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # (a) a top-level run() that never touches the common helpers
+        for node in ctx.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "run":
+                uses_common = any(
+                    isinstance(sub, ast.Call)
+                    and last_segment(call_name(sub, ctx.aliases))
+                    in COMMON_HELPERS
+                    for sub in ast.walk(node)
+                )
+                if not uses_common:
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        "run() does not call any experiments.common helper "
+                        "(get_scale/get_dataset/get_forest/...); scale and "
+                        "dataset inputs are unvalidated and uncached",
+                    )
+        # (b) indexing SCALES directly skips get_scale's validation
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "SCALES"
+            ):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "SCALES[...] subscript bypasses get_scale()'s "
+                    "validation; unknown scale names should raise the "
+                    "harness's KeyError with available choices",
+                )

@@ -1,0 +1,340 @@
+"""KRN rules — discipline for the warp-lockstep kernel DSL.
+
+The simulated kernels under ``src/repro/kernels/`` are the repo's measuring
+instruments: their coalescing/divergence counters *are* the paper's Fig. 8
+evidence.  Three invariants keep those counters truthful:
+
+* **KRN001** — every global load of a layout array must flow through an
+  ``AddressSpace.addr`` + ``CoalescingTracker.record`` site; a raw
+  ``layout.x[idx]`` read in an instrumented kernel silently drops traffic
+  from the coalescing model.
+* **KRN002** — inside a divergent region (a lock-step loop driven by
+  ``np.any(mask)``) every write to a per-lane state array must be guarded
+  by an active-mask index; an unmasked write corresponds to inactive CUDA
+  lanes mutating state.
+* **KRN003** — a cooperative shared-memory staging write must be separated
+  from the first shared-memory read by a block synchronisation (the
+  ``__syncthreads()`` analogue), otherwise the simulated kernel encodes a
+  read-after-write shared-memory race.
+
+The detector works on DSL markers rather than types: staging writes are
+``metrics.bytes_staged_shared`` accumulations, shared reads are
+``metrics.shared_load_requests`` accumulations, and syncs are calls whose
+name contains ``sync`` (``WarpGrid.record_sync``) or accumulations naming a
+``*SYNC*`` cycle constant.  Calls to same-module functions are inlined one
+level so staging/traversal helpers are followed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.statcheck.astutils import (
+    dotted_name,
+    keyword_value,
+    last_segment,
+    names_in,
+    walk_functions,
+)
+from repro.statcheck.core import FileContext, Rule, Violation, register
+
+KERNEL_PREFIX = ("repro/kernels/",)
+
+#: Importing either of these marks a module as an *instrumented* kernel —
+#: one whose loads must be visible to the coalescing model.  Work-item
+#: counters (traversal_stats, the FPGA kernels) are exempt by construction.
+INSTRUMENTED_IMPORTS = {"AddressSpace", "CoalescingTracker"}
+
+#: Parameter names conventionally holding active-lane masks.
+MASK_PARAM_NAMES = frozenset(
+    {"active", "present", "walking", "inner", "crossing", "stay", "mask",
+     "alive", "in_stage1"}
+)
+
+
+def _module_imports(tree: ast.Module) -> set:
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            names.update(a.asname or a.name for a in node.names)
+    return names
+
+
+@register
+class UntrackedGlobalAccessRule(Rule):
+    id = "KRN001"
+    summary = (
+        "instrumented kernels must route layout-array loads through "
+        "AddressSpace.addr / tracker.record sites"
+    )
+    path_prefixes = KERNEL_PREFIX
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not (INSTRUMENTED_IMPORTS & _module_imports(ctx.tree)):
+            return
+        for _parent, fn in walk_functions(ctx.tree):
+            raw_loads: List[ast.Subscript] = []
+            tracked = False
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    callee = last_segment(dotted_name(node.func))
+                    if callee in ("record", "addr"):
+                        tracked = True
+                elif isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    base = node.value
+                    if (
+                        isinstance(base, ast.Attribute)
+                        and isinstance(base.value, ast.Name)
+                        and base.value.id == "layout"
+                    ):
+                        raw_loads.append(node)
+            if raw_loads and not tracked:
+                seen_lines = set()
+                for sub in raw_loads:
+                    if sub.lineno in seen_lines:
+                        continue
+                    seen_lines.add(sub.lineno)
+                    yield ctx.violation(
+                        sub,
+                        self.id,
+                        f"function {fn.name!r} reads "
+                        f"layout.{sub.value.attr}[...] without any "
+                        "AddressSpace.addr/tracker.record site — this "
+                        "traffic is invisible to the coalescing model",
+                    )
+
+
+# ----------------------------------------------------------------------
+# KRN002 — unmasked lane writes under divergence
+# ----------------------------------------------------------------------
+def _collect_mask_names(fn: ast.AST) -> set:
+    """Names plausibly holding boolean lane masks (or mask-derived index
+    arrays such as ``np.flatnonzero(mask)`` results)."""
+    masks = {a.arg for a in fn.args.args if a.arg in MASK_PARAM_NAMES}
+
+    def is_masky(expr: ast.AST) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Compare):
+                return True
+            if isinstance(node, ast.UnaryOp) and isinstance(
+                node.op, (ast.Invert, ast.Not)
+            ):
+                return True
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr)
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                callee = last_segment(dotted_name(node.func))
+                if callee in ("flatnonzero", "nonzero", "isnan", "isfinite",
+                              "isinf", "logical_and", "logical_or",
+                              "logical_not"):
+                    return True
+                dval = keyword_value(node, "dtype")
+                if dval is not None and last_segment(dotted_name(dval)) in (
+                    "bool", "bool_",
+                ):
+                    return True
+                # mask.copy() / subscripting a mask propagates maskiness
+                if callee == "copy" and isinstance(node.func, ast.Attribute):
+                    if last_segment(dotted_name(node.func.value)) in masks:
+                        return True
+            if isinstance(node, ast.Name) and node.id in masks:
+                return True
+        return False
+
+    # Two passes so masks defined from other masks resolve regardless of
+    # textual order within loops.
+    for _ in range(2):
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                tgt = node.targets[0]
+                if isinstance(tgt, ast.Name) and is_masky(node.value):
+                    masks.add(tgt.id)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr)
+            ):
+                if isinstance(node.target, ast.Name):
+                    masks.add(node.target.id)
+    return masks
+
+
+def _divergent_loops(fn: ast.AST) -> Iterator[ast.AST]:
+    """Loops modelling lock-step execution over an active-lane mask."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.While, ast.For)):
+            probe = [node.test] if isinstance(node, ast.While) else node.body
+            for sub in probe if isinstance(probe, list) else [probe]:
+                found = any(
+                    isinstance(c, ast.Call)
+                    and last_segment(dotted_name(c.func)) in ("any", "count_nonzero")
+                    for c in ast.walk(sub)
+                )
+                if found:
+                    yield node
+                    break
+
+
+@register
+class UnmaskedDivergentWriteRule(Rule):
+    id = "KRN002"
+    summary = (
+        "per-lane writes inside divergent lock-step loops must be guarded "
+        "by an active-mask index"
+    )
+    path_prefixes = KERNEL_PREFIX
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for _parent, fn in walk_functions(ctx.tree):
+            masks = _collect_mask_names(fn)
+            reported = set()
+            for loop in _divergent_loops(fn):
+                for node in ast.walk(loop):
+                    target = None
+                    if isinstance(node, ast.Assign):
+                        for t in node.targets:
+                            if isinstance(t, ast.Subscript):
+                                target = t
+                    elif isinstance(node, ast.AugAssign) and isinstance(
+                        node.target, ast.Subscript
+                    ):
+                        target = node.target
+                    if target is None or not isinstance(target.value, ast.Name):
+                        continue
+                    idx = target.slice
+                    if any(name in masks for name in names_in(idx)):
+                        continue
+                    key = (target.value.id, node.lineno)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"write to {target.value.id}[...] inside a divergent "
+                        "lock-step loop is not guarded by an active-lane "
+                        "mask; inactive lanes would mutate state on real "
+                        "hardware",
+                    )
+
+
+# ----------------------------------------------------------------------
+# KRN003 — static shared-memory race detection
+# ----------------------------------------------------------------------
+Event = Tuple[str, int]  # ("write" | "read" | "sync", lineno)
+
+
+def _function_table(tree: ast.Module) -> Dict[str, ast.AST]:
+    table: Dict[str, ast.AST] = {}
+    for _parent, fn in walk_functions(tree):
+        table[fn.name] = fn
+    return table
+
+
+def _marker_events_of_stmt(stmt: ast.stmt) -> List[Event]:
+    """Direct DSL-marker events of one simple statement (no call inlining)."""
+    events: List[Event] = []
+    if isinstance(stmt, ast.AugAssign):
+        text_names = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Attribute):
+                text_names.add(node.attr)
+            elif isinstance(node, ast.Name):
+                text_names.add(node.id)
+        if "bytes_staged_shared" in text_names:
+            events.append(("write", stmt.lineno))
+        if "shared_load_requests" in text_names:
+            events.append(("read", stmt.lineno))
+        if any("SYNC" in n for n in text_names):
+            events.append(("sync", stmt.lineno))
+    return events
+
+
+def _calls_of_stmt(stmt: ast.stmt) -> List[ast.Call]:
+    """Call nodes of one statement; for compound statements only the header
+    expression (test / iter) is scanned so body calls are not double
+    counted by the statement walk."""
+    if isinstance(stmt, ast.While):
+        scan: List[ast.AST] = [stmt.test]
+    elif isinstance(stmt, ast.For):
+        scan = [stmt.iter]
+    elif isinstance(stmt, ast.If):
+        scan = [stmt.test]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        scan = []
+    else:
+        scan = [stmt]
+    calls: List[ast.Call] = []
+    for root in scan:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                calls.append(node)
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def _events_of_function(
+    fn: ast.AST,
+    table: Dict[str, ast.AST],
+    inline: bool,
+) -> List[Event]:
+    """Ordered shared-memory events of a function body.
+
+    With ``inline`` set, calls to same-module functions splice in that
+    callee's *direct* events (one level — enough to follow the
+    ``_run -> _stage_x/_traverse_x`` structure without cycles).
+    """
+    from repro.statcheck.astutils import statements_in_order
+
+    events: List[Event] = []
+    for stmt in statements_in_order(fn.body):
+        for call in _calls_of_stmt(stmt):
+            name = last_segment(dotted_name(call.func))
+            if "sync" in name.lower():
+                events.append(("sync", call.lineno))
+            elif inline and name in table and table[name] is not fn:
+                callee_events = _events_of_function(
+                    table[name], table, inline=False
+                )
+                events.extend((kind, call.lineno) for kind, _ in callee_events)
+        events.extend(_marker_events_of_stmt(stmt))
+    return events
+
+
+@register
+class SharedMemoryRaceRule(Rule):
+    id = "KRN003"
+    summary = (
+        "shared-memory staging writes must be fenced by a block sync "
+        "before the first shared-memory read"
+    )
+    path_prefixes = KERNEL_PREFIX
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        table = _function_table(ctx.tree)
+        for _parent, fn in walk_functions(ctx.tree):
+            events = _events_of_function(fn, table, inline=True)
+            pending_write: Optional[int] = None
+            for kind, line in events:
+                if kind == "write":
+                    pending_write = line
+                elif kind == "sync":
+                    pending_write = None
+                elif kind == "read" and pending_write is not None:
+                    yield Violation(
+                        path=ctx.path,
+                        line=line,
+                        col=0,
+                        rule_id=self.id,
+                        message=(
+                            f"in {fn.name!r}: shared-memory read at line "
+                            f"{line} follows the staging write at line "
+                            f"{pending_write} with no intervening block sync "
+                            "(record_sync / SYNC_CYCLES) — a read-after-"
+                            "write shared-memory race on real hardware"
+                        ),
+                    )
+                    pending_write = None  # one report per unfenced write

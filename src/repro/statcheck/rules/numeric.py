@@ -1,0 +1,138 @@
+"""NUM rules — dtype and persistence discipline.
+
+The paper's layouts are float32 values + int32/int64 indices by design
+(§3.1: memory footprint is part of the result).  NumPy's constructors
+default to float64/platform int, so an implicit dtype is either a silent
+2x memory inflation or a platform-dependent index width.  Persisted
+``.npz`` artifacts must carry per-array CRCs so the integrity layer
+(``repro.reliability.integrity``) can catch corruption before it skews a
+benchmark.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutils import (
+    call_name,
+    has_keyword,
+    keyword_value,
+    last_segment,
+    resolved_name,
+)
+from repro.statcheck.core import FileContext, Rule, Violation, register
+
+#: Constructors whose dtype defaults are platform/precision traps.
+DTYPE_REQUIRED = {
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "numpy.full",
+    "numpy.arange",
+}
+
+#: Packages where a float64 upcast silently doubles simulated footprints.
+FLOAT32_PACKAGES = ("repro/kernels/", "repro/gpusim/", "repro/layout/")
+
+SAVERS = {"numpy.savez", "numpy.savez_compressed", "numpy.save"}
+
+
+@register
+class ImplicitDtypeRule(Rule):
+    id = "NUM001"
+    summary = (
+        "array constructors must pass an explicit dtype (float64/platform-"
+        "int defaults break the paper's float32/int64 layout contract)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, ctx.aliases)
+            if name in DTYPE_REQUIRED and not has_keyword(node, "dtype"):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"{name}() without dtype= defaults to float64/platform "
+                    "int; state the layout dtype explicitly "
+                    "(np.float32 values, np.int64 indices)",
+                )
+
+
+@register
+class Float64UpcastRule(Rule):
+    id = "NUM002"
+    summary = (
+        "no float64 upcasts in kernel/simulator/layout packages "
+        "(float32 is part of the modelled memory footprint)"
+    )
+    path_prefixes = FLOAT32_PACKAGES
+
+    def _is_float64(self, node: ast.AST, ctx: FileContext) -> bool:
+        return resolved_name(node, ctx.aliases) in (
+            "float",
+            "numpy.float64",
+            "numpy.double",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, ctx.aliases)
+            if name in ("numpy.float64", "numpy.double"):
+                yield ctx.violation(
+                    node, self.id,
+                    "numpy.float64() upcast in a float32 package",
+                )
+                continue
+            if last_segment(name) == "astype" and node.args:
+                if self._is_float64(node.args[0], ctx):
+                    yield ctx.violation(
+                        node, self.id,
+                        "astype(float64) silently doubles the array's "
+                        "simulated footprint; keep layouts float32",
+                    )
+            dval = keyword_value(node, "dtype")
+            if dval is not None and self._is_float64(dval, ctx):
+                yield ctx.violation(
+                    node, self.id,
+                    "dtype=float64 in a float32 package; the memory model "
+                    "assumes 4-byte values",
+                )
+
+
+@register
+class UnchecksummedSaveRule(Rule):
+    id = "NUM003"
+    summary = (
+        ".npz/.npy persistence must be covered by per-array array_crc32 "
+        "checksums (see repro.forest.io)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        has_crc = any(
+            (isinstance(n, ast.Name) and n.id == "array_crc32")
+            or (isinstance(n, ast.Attribute) and n.attr == "array_crc32")
+            or (
+                isinstance(n, ast.ImportFrom)
+                and any(a.name == "array_crc32" for a in n.names)
+            )
+            for n in ast.walk(ctx.tree)
+        )
+        if has_crc:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and call_name(
+                node, ctx.aliases
+            ) in SAVERS:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "array persistence without array_crc32 coverage; "
+                    "checksum every saved array so load-time integrity "
+                    "checks can reject corrupt caches "
+                    "(repro.utils.validation.array_crc32)",
+                )

@@ -1,0 +1,14 @@
+"""BAD: an experiment trains and loads outside the shared cache."""
+
+from repro.datasets.profiles import load_dataset
+from repro.experiments.common import get_scale
+from repro.forest.random_forest import RandomForestClassifier
+
+
+def run(scale="default"):
+    scale = get_scale(scale)
+    ds = load_dataset("susy", rows=scale.rows)  # API001
+    forest = RandomForestClassifier(  # API001
+        n_estimators=scale.n_trees, max_depth=8, seed=0
+    ).fit(ds.X_train, ds.y_train)
+    return [{"acc": forest.score(ds.X_test, ds.y_test)}]

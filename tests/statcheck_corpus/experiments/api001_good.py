@@ -1,0 +1,10 @@
+"""GOOD: datasets and forests come from the memoised harness."""
+
+from repro.experiments.common import get_dataset, get_forest, get_scale
+
+
+def run(scale="default"):
+    scale = get_scale(scale)
+    ds = get_dataset("susy", scale)
+    forest = get_forest("susy", 8, scale.n_trees, scale, seed=0)
+    return [{"acc": forest.score(ds.X_test, ds.y_test)}]

@@ -1,0 +1,8 @@
+"""BAD: run() sidesteps the harness — raw SCALES access, no helpers."""
+
+from repro.experiments.common import SCALES
+
+
+def run(scale="default"):  # API002: run() never calls a common helper
+    cfg = SCALES[scale]  # API002: bypasses get_scale validation
+    return [{"queries": cfg.queries}]

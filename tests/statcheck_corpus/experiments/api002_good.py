@@ -1,0 +1,8 @@
+"""GOOD: run() resolves its inputs through the common helpers."""
+
+from repro.experiments.common import get_scale
+
+
+def run(scale="default"):
+    cfg = get_scale(scale)
+    return [{"queries": cfg.queries}]

@@ -1,0 +1,11 @@
+"""BAD: wall-clock reads and a monotonic timer outside the allowlist."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(rows):
+    started = time.time()  # DET001: wall clock
+    rows.append({"started": started, "at": datetime.now()})  # DET001
+    t0 = time.perf_counter()  # DET001: monotonic outside allowlist
+    return rows, t0

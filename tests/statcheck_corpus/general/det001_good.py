@@ -1,0 +1,6 @@
+"""GOOD: no clock reads; timestamps arrive as explicit inputs."""
+
+
+def stamp_result(rows, started_at):
+    rows.append({"started": started_at})
+    return rows

@@ -1,0 +1,13 @@
+"""BAD: legacy global-state randomness in three flavours."""
+
+import numpy as np
+from random import shuffle
+
+
+def sample(n):
+    np.random.seed(0)  # DET002: legacy seed
+    idx = np.random.randint(0, 10, size=n)  # DET002: legacy randint
+    rng = np.random.default_rng(0)  # DET002: bypasses as_rng
+    order = list(range(n))
+    shuffle(order)  # DET002: stdlib random
+    return idx, rng, order

@@ -1,0 +1,13 @@
+"""GOOD: all randomness flows through the sanctioned Generator plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+def sample(n, seed=None):
+    rng = as_rng(seed)
+    idx = rng.integers(0, 10, size=n, dtype=np.int64)
+    streams = spawn_rngs(seed, 2)
+    ss = np.random.SeedSequence(7)  # Generator API members are fine
+    return idx, streams, ss

@@ -1,0 +1,10 @@
+"""BAD: set iteration orders results by hash seed."""
+
+
+def summarise(rows):
+    out = []
+    for name in {r["dataset"] for r in rows}:  # DET003
+        out.append(name)
+    labels = [x for x in {"a", "b", "c"}]  # DET003: set literal
+    pairs = list(enumerate(set(out)))  # DET003: enumerate(set)
+    return out, labels, pairs

@@ -1,0 +1,10 @@
+"""GOOD: sets are sorted before any order-sensitive consumption."""
+
+
+def summarise(rows):
+    out = []
+    for name in sorted({r["dataset"] for r in rows}):
+        out.append(name)
+    labels = [x for x in sorted({"a", "b", "c"})]
+    pairs = list(enumerate(sorted(set(out))))
+    return out, labels, pairs

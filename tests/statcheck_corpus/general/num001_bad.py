@@ -1,0 +1,11 @@
+"""BAD: dtype-less constructors default to float64 / platform int."""
+
+import numpy as np
+
+
+def make_state(n):
+    votes = np.zeros(n)  # NUM001
+    rows = np.arange(n)  # NUM001
+    ones = np.ones((n, 2))  # NUM001
+    out = np.full(n, -1)  # NUM001
+    return votes, rows, ones, out

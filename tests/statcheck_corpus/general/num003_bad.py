@@ -1,0 +1,7 @@
+"""BAD: persists arrays with no integrity checksums."""
+
+import numpy as np
+
+
+def save(path, feature_id, value):
+    np.savez_compressed(path, feature_id=feature_id, value=value)  # NUM003

@@ -1,0 +1,16 @@
+"""GOOD: every persisted array is covered by array_crc32."""
+
+import numpy as np
+
+from repro.utils.validation import array_crc32
+
+
+def save(path, feature_id, value):
+    np.savez_compressed(
+        path,
+        feature_id=feature_id,
+        value=value,
+        crcs=np.asarray(
+            [array_crc32(feature_id), array_crc32(value)], dtype=np.uint32
+        ),
+    )

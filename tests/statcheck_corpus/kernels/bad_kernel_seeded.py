@@ -1,0 +1,31 @@
+"""Seeded bad kernel: unmasked divergent write + staging/read race.
+
+The canonical "subtly wrong kernel" — functionally it would still return
+plausible predictions, which is exactly why the static pass must catch it
+before its counters poison a benchmark comparison.
+"""
+
+import numpy as np
+
+
+class BadKernel:
+    BYTES_PER_SLOT = 8
+
+    def _stage_batch(self, grid, metrics, slots):
+        metrics.bytes_staged_shared += slots * self.BYTES_PER_SLOT
+        # Missing grid.record_sync(metrics) here.
+
+    def _run(self, layout, X, grid, metrics, votes):
+        n = X.shape[0]
+        out = np.full(n, -1, dtype=np.int64)
+        local = np.zeros(n, dtype=np.int64)
+        active = np.ones(n, dtype=bool)
+        self._stage_batch(grid, metrics, 512)
+        while np.any(active):
+            # KRN003: shared read with no sync after the staging write.
+            metrics.shared_load_requests += 2 * grid.active_warps(active)
+            step = np.argsort(local)
+            out[step] = local[step]  # KRN002: unmasked lane write
+            active = local < 4
+            local[active] = 2 * local[active] + 1
+        return out

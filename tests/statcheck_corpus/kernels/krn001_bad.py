@@ -1,0 +1,14 @@
+"""BAD: instrumented kernel reads layout arrays behind the tracker's back."""
+
+import numpy as np
+
+from repro.gpusim.memory import CoalescingTracker
+from repro.kernels.base import AddressSpace
+
+
+def traverse(layout, X, g):
+    # No .record / .addr anywhere: this load never reaches the
+    # coalescing model, so Fig. 8-style counters under-report traffic.
+    feats = layout.feature_id[g]  # KRN001
+    vals = layout.value[g]  # KRN001
+    return np.where(feats >= 0, vals, -1)

@@ -1,0 +1,15 @@
+"""GOOD: every layout load has a tracked address-space site."""
+
+import numpy as np
+
+from repro.gpusim.memory import CoalescingTracker
+from repro.kernels.base import AddressSpace
+
+
+def traverse(layout, X, g, metrics, active):
+    space = AddressSpace()
+    space.alloc("feature_id", layout.total_slots, 4)
+    tracker = CoalescingTracker("feature_id", metrics)
+    tracker.record(space.addr("feature_id", g), active)
+    feats = layout.feature_id[g]
+    return np.where(feats >= 0, feats, -1)

@@ -1,0 +1,16 @@
+"""BAD: lane-state writes in a divergent loop without an active mask."""
+
+import numpy as np
+
+
+def traverse(X, depth):
+    n = X.shape[0]
+    out = np.full(n, -1, dtype=np.int64)
+    local = np.zeros(n, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    while np.any(active):
+        order = np.argsort(local)
+        out[order] = local[order]  # KRN002: index is not mask-derived
+        local[:] = 2 * local + 1  # KRN002: full-slice write
+        active = local < depth
+    return out

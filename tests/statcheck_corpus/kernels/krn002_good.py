@@ -1,0 +1,17 @@
+"""GOOD: every divergent-loop write is guarded by the active mask."""
+
+import numpy as np
+
+
+def traverse(X, depth):
+    n = X.shape[0]
+    out = np.full(n, -1, dtype=np.int64)
+    local = np.zeros(n, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    while np.any(active):
+        done = active & (local >= depth)
+        out[done] = local[done]
+        inner = active & ~done
+        local[inner] = 2 * local[inner] + 1
+        active = inner
+    return out

@@ -1,0 +1,15 @@
+"""BAD: shared-memory staging is read back with no block sync between."""
+
+
+class Kernel:
+    BYTES_PER_SLOT = 8
+
+    def _stage(self, grid, metrics, slots):
+        metrics.bytes_staged_shared += slots * self.BYTES_PER_SLOT
+
+    def _walk(self, grid, metrics, active):
+        metrics.shared_load_requests += 2 * grid.active_warps(active)
+
+    def _run(self, grid, metrics, slots, active):
+        self._stage(grid, metrics, slots)
+        self._walk(grid, metrics, active)  # KRN003: no sync since staging

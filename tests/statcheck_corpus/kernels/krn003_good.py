@@ -1,0 +1,16 @@
+"""GOOD: a block barrier fences staging from the shared-memory reads."""
+
+
+class Kernel:
+    BYTES_PER_SLOT = 8
+
+    def _stage(self, grid, metrics, slots):
+        metrics.bytes_staged_shared += slots * self.BYTES_PER_SLOT
+
+    def _walk(self, grid, metrics, active):
+        metrics.shared_load_requests += 2 * grid.active_warps(active)
+
+    def _run(self, grid, metrics, slots, active):
+        self._stage(grid, metrics, slots)
+        grid.record_sync(metrics)
+        self._walk(grid, metrics, active)

@@ -1,0 +1,10 @@
+"""GOOD: layouts stay float32 / int64 end to end."""
+
+import numpy as np
+
+
+def widen(values, thresholds):
+    v = values.astype(np.float32)
+    t = np.zeros(8, dtype=np.float32)
+    s = np.float32(thresholds.sum())
+    return v, t, s

@@ -131,6 +131,9 @@ class TestMetricsInvariants:
         ind = GPUIndependentKernel().run(layouts["hier6"], queries)
         assert hyb.metrics.shared_load_requests > 0
         assert hyb.metrics.bytes_staged_shared > 0
+        # Staging must be fenced by a block barrier before it is read
+        # (statcheck rule KRN003 enforces this statically).
+        assert hyb.metrics.block_syncs > 0
         assert ind.metrics.shared_load_requests == 0
 
     def test_hybrid_reduces_global_requests(self, layouts, queries):

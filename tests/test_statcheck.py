@@ -1,0 +1,226 @@
+"""Tests for repro.statcheck: engine, rules (via the fixture corpus), CLI.
+
+The corpus under ``tests/statcheck_corpus/`` pairs one good and one bad
+fixture per rule; fixtures are checked with a ``virtual_path`` under
+``src/repro/...`` so path-scoped rules see them in scope.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.statcheck import baseline as baseline_mod
+from repro.statcheck import cli
+from repro.statcheck.core import (
+    PARSE_RULE,
+    all_rules,
+    check_file,
+    check_source,
+    module_key,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CORPUS = REPO_ROOT / "tests" / "statcheck_corpus"
+
+#: Corpus subdirectory -> virtual src/ package the fixtures pretend to be in.
+VIRTUAL_DIRS = {
+    "general": "src/repro",
+    "kernels": "src/repro/kernels",
+    "experiments": "src/repro/experiments",
+}
+
+
+def corpus_cases(kind: str):
+    """(fixture path, rule id, virtual path) for every ``*_{kind}.py``."""
+    cases = []
+    for sub, virtual in VIRTUAL_DIRS.items():
+        for path in sorted((CORPUS / sub).glob(f"*_{kind}.py")):
+            stem = path.name[: -len(f"_{kind}.py")]
+            if not stem[-3:].isdigit():
+                continue  # e.g. bad_kernel_seeded.py, tested separately
+            rule_id = stem.upper()
+            cases.append(
+                pytest.param(path, rule_id, f"{virtual}/{path.name}", id=f"{sub}/{stem}")
+            )
+    return cases
+
+
+def check_fixture(path: Path, virtual_path: str):
+    return check_file(str(path), virtual_path=virtual_path)
+
+
+@pytest.mark.parametrize("path,rule_id,virtual", corpus_cases("bad"))
+def test_bad_fixture_is_flagged(path, rule_id, virtual):
+    hits = [v for v in check_fixture(path, virtual) if v.rule_id == rule_id]
+    assert hits, f"{path.name}: expected at least one {rule_id} violation"
+    # Every marked line (`# RULEID...` comment) must be flagged.
+    marked = {
+        i + 1
+        for i, line in enumerate(path.read_text().splitlines())
+        if f"# {rule_id}" in line
+    }
+    assert marked <= {v.line for v in hits}, f"{path.name}: missed a marked line"
+
+
+@pytest.mark.parametrize("path,rule_id,virtual", corpus_cases("good"))
+def test_good_fixture_is_clean(path, rule_id, virtual):
+    hits = [v for v in check_fixture(path, virtual) if v.rule_id == rule_id]
+    assert not hits, f"{path.name}: false positives: {[v.format() for v in hits]}"
+
+
+@pytest.mark.parametrize("path,rule_id,virtual", corpus_cases("good"))
+def test_good_fixture_is_fully_clean(path, rule_id, virtual):
+    """Good fixtures model sanctioned style: no rule at all may fire."""
+    hits = check_fixture(path, virtual)
+    assert not hits, f"{path.name}: {[v.format() for v in hits]}"
+
+
+def test_seeded_bad_kernel_trips_race_and_mask_rules():
+    """ISSUE acceptance: the seeded bad kernel is caught on both counts."""
+    path = CORPUS / "kernels" / "bad_kernel_seeded.py"
+    hits = check_fixture(path, "src/repro/kernels/bad_kernel_seeded.py")
+    rule_ids = {v.rule_id for v in hits}
+    assert "KRN002" in rule_ids, "unmasked divergent write not flagged"
+    assert "KRN003" in rule_ids, "staging-write/shared-read race not flagged"
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+def test_module_key_truncates_at_repro():
+    assert module_key("src/repro/kernels/base.py") == "repro/kernels/base.py"
+    assert module_key("repro/utils/rng.py") == "repro/utils/rng.py"
+    assert module_key("/abs/x/src/repro/a.py") == "repro/a.py"
+    assert module_key("scripts/tool.py") == "scripts/tool.py"
+
+
+def test_rule_registry_ids_are_unique_and_nonempty():
+    rules = all_rules()
+    assert rules, "no rules registered"
+    for rule_id, rule in rules.items():
+        assert rule.id == rule_id
+        assert rule.summary
+
+
+def test_parse_error_reports_pseudo_rule():
+    out = check_source("def broken(:\n", "src/repro/x.py")
+    assert [v.rule_id for v in out] == [PARSE_RULE]
+
+
+def test_same_line_suppression_with_justification():
+    src = "import time\nt = time.time()  # statcheck: disable=DET001 wall demo\n"
+    assert check_source(src, "src/repro/x.py") == []
+
+
+def test_suppression_of_other_rule_does_not_silence():
+    src = "import time\nt = time.time()  # statcheck: disable=NUM001\n"
+    assert [v.rule_id for v in check_source(src, "src/repro/x.py")] == ["DET001"]
+
+
+def test_disable_all_suppression():
+    src = "import time\nt = time.time()  # statcheck: disable=all\n"
+    assert check_source(src, "src/repro/x.py") == []
+
+
+def test_file_wide_suppression():
+    src = (
+        "# statcheck: disable-file=DET001 timing helper module\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    assert check_source(src, "src/repro/x.py") == []
+
+
+def test_violations_sorted_and_deduped():
+    src = "import numpy as np\nb = np.zeros(3)\na = np.random.rand(2)\n"
+    out = check_source(src, "src/repro/x.py")
+    assert [(v.line, v.rule_id) for v in out] == [(2, "NUM001"), (3, "DET002")]
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_and_apply(tmp_path):
+    src = "import numpy as np\na = np.zeros(3)\nb = np.ones(4)\n"
+    violations = check_source(src, "src/repro/debt.py")
+    assert len(violations) == 2
+
+    path = tmp_path / "base.json"
+    baseline_mod.write_baseline(str(path), violations)
+    counts = baseline_mod.load_baseline(str(path))
+    assert counts == {"src/repro/debt.py::NUM001": 2}
+
+    # Same debt: fully absorbed.
+    res = baseline_mod.apply_baseline(violations, counts)
+    assert res.new == [] and res.absorbed == 2 and res.stale == []
+
+    # Extra debt in the group: the whole group resurfaces.
+    more = check_source(src + "c = np.empty(5)\n", "src/repro/debt.py")
+    res = baseline_mod.apply_baseline(more, counts)
+    assert len(res.new) == 3
+
+    # Paid-down debt: nothing new, entry reported stale.
+    res = baseline_mod.apply_baseline(violations[:1], counts)
+    assert res.new == [] and res.stale == [("src/repro/debt.py::NUM001", 2, 1)]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return str(p)
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    f = _write(tmp_path, "clean.py", "import numpy as np\nx = np.zeros(3, dtype=np.float32)\n")
+    assert cli.main([f, "--no-baseline"]) == 0
+    assert "0 violation" in capsys.readouterr().out
+
+
+def test_cli_violations_exit_one_and_json(tmp_path, capsys):
+    f = _write(tmp_path, "dirty.py", "import numpy as np\nx = np.zeros(3)\n")
+    assert cli.main([f, "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"][0]["rule"] == "NUM001"
+
+
+def test_cli_select_and_ignore(tmp_path, capsys):
+    f = _write(tmp_path, "dirty.py", "import numpy as np\nx = np.zeros(3)\n")
+    assert cli.main([f, "--no-baseline", "--select", "DET001"]) == 0
+    assert cli.main([f, "--no-baseline", "--ignore", "NUM001"]) == 0
+    assert cli.main([f, "--no-baseline", "--select", "NOPE"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_missing_path_exits_two(capsys):
+    assert cli.main(["definitely/not/here.py"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "KRN003", "NUM001", "API002"):
+        assert rule_id in out
+
+
+def test_cli_write_then_use_baseline(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "dirty.py", "import numpy as np\nx = np.zeros(3)\n")
+    assert cli.main(["dirty.py", "--write-baseline"]) == 0
+    # Default baseline is auto-picked from the cwd; the debt is absorbed.
+    assert cli.main(["dirty.py"]) == 0
+    assert "absorbed" in capsys.readouterr().out
+
+
+def test_repo_source_tree_is_clean_under_checked_in_baseline(monkeypatch, capsys):
+    """The headline acceptance check: `python -m repro.statcheck src` == 0."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert cli.main(["src"]) == 0
+    capsys.readouterr()
