@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint statcheck faults bench bench-smoke experiments report clean-cache loc
+.PHONY: install test lint statcheck faults bench bench-smoke experiments report trace obs-diff clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -39,6 +39,19 @@ experiments:
 
 report:
 	python -m repro.experiments.report default EXPERIMENTS.md
+
+# Observability (docs/architecture.md §8): trace a seeded smoke run into
+# results/obs (Chrome-trace timeline + Prometheus text + run manifest).
+trace:
+	PYTHONPATH=src python -m repro.obs trace --out results/obs
+
+# Determinism proof: trace the same seed twice and diff the manifests.
+# Exits non-zero if any counter moved between identical seeded runs.
+obs-diff:
+	PYTHONPATH=src python -m repro.obs trace --out results/obs-a
+	PYTHONPATH=src python -m repro.obs trace --out results/obs-b
+	PYTHONPATH=src python -m repro.obs diff \
+		results/obs-a/run_manifest.jsonl results/obs-b/run_manifest.jsonl
 
 clean-cache:
 	rm -rf .cache

@@ -15,8 +15,6 @@ pays *nothing* beyond that build-time hash:
    per layout, and returns the exact same predictions and seconds.
 """
 
-import time
-
 import numpy as np
 
 from benchmarks.conftest import run_once
@@ -26,6 +24,7 @@ from repro.forest.tree import random_tree
 from repro.layout.hierarchical import HierarchicalForest, LayoutParams
 from repro.reliability import ResilientClassifier
 from repro.reliability.integrity import LayoutIntegrity
+from repro.utils.clock import Stopwatch
 from repro.utils.tables import format_table
 
 _REPEATS = 20
@@ -37,10 +36,10 @@ def _trees():
 
 
 def _classify_wall_seconds(clf, X, config):
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     for _ in range(_REPEATS):
         res = clf.classify(X, config)
-    return (time.perf_counter() - t0) / _REPEATS, res
+    return watch.elapsed() / _REPEATS, res
 
 
 def _run():
@@ -50,14 +49,14 @@ def _run():
     config = RunConfig(variant="hybrid")
 
     # Layout build: the only place integrity is allowed to cost anything.
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     plain = HierarchicalForest.from_trees(
         trees, LayoutParams(6), with_integrity=False
     )
-    build_plain_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    build_plain_s = watch.elapsed()
+    watch.restart()
     checked = HierarchicalForest.from_trees(trees, LayoutParams(6))
-    build_checked_s = time.perf_counter() - t0
+    build_checked_s = watch.elapsed()
 
     clf_plain = HierarchicalForestClassifier.from_trees(trees, 16)
     clf_plain._layout_cache[("hier", 6, 6)] = plain

@@ -5,6 +5,11 @@ The paper explains its Fig. 7 speedups with profiler counters (Fig. 8).
 :class:`~repro.kernels.base.GPUKernelResult`: aggregate counters plus a
 per-load-site breakdown showing where the transactions come from — the
 fastest way to see *why* one variant beats another in this model.
+
+The aggregate half is expressed over the unified metrics registry
+(:mod:`repro.obs`): the result is ingested through the same bridges the
+timeline exporter uses, so the profile, the Prometheus page and the run
+manifest all read the exact same numbers.
 """
 
 from __future__ import annotations
@@ -16,20 +21,29 @@ from repro.utils.tables import format_table
 
 
 def site_table(result: GPUKernelResult) -> str:
-    """Per-load-site breakdown (one row per device array)."""
+    """Per-load-site breakdown (one row per device array).
+
+    Transaction shares are computed against the kernel's aggregate
+    transaction count; when that count is zero (e.g. a fully shared-memory
+    kernel, or an empty query set) the share column shows ``-`` instead of
+    dividing by an artificial floor and printing a misleading percentage.
+    """
     rows: List[list] = []
-    total_txn = max(1, result.metrics.global_load_transactions)
+    total_txn = result.metrics.global_load_transactions
     for name, s in sorted(
         result.site_stats.items(),
-        key=lambda kv: kv[1]["transactions"],
-        reverse=True,
+        key=lambda kv: (-kv[1]["transactions"], kv[0]),
     ):
+        if total_txn > 0:
+            share = f"{s['transactions'] / total_txn:.1%}"
+        else:
+            share = "-"
         rows.append(
             [
                 name,
                 int(s["requests"]),
                 int(s["transactions"]),
-                f"{s['transactions'] / total_txn:.1%}",
+                share,
                 int(s["cold_transactions"]),
                 f"{s['footprint_bytes'] / 1024:.1f} KB",
                 "L1" if s["l1_resident"] else f"{s['l1_hit_rate']:.0%} L1",
@@ -54,28 +68,43 @@ def site_table(result: GPUKernelResult) -> str:
 
 def profile_report(result: GPUKernelResult, name: str = "kernel") -> str:
     """Full profile: aggregate counters, timing breakdown, per-site table."""
-    m = result.metrics
-    t = result.timing
+    from repro.obs.bridges import record_kernel_metrics, record_kernel_timing
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    record_kernel_metrics(registry, result.metrics, kernel=name)
+    record_kernel_timing(registry, result.timing, kernel=name)
+
+    def val(metric: str) -> float:
+        return registry.get(metric).value(kernel=name)
+
     agg = format_table(
         ["counter", "value"],
         [
-            ["simulated seconds", f"{t.seconds:.6e}"],
-            ["bound by", t.bound_by],
-            ["global load requests", m.global_load_requests],
-            ["global load transactions", m.global_load_transactions],
-            ["  cold (DRAM)", m.dram_transactions],
-            ["  served by L1", m.l1_transactions],
-            ["issue-weighted transactions", f"{m.issue_weighted_transactions:.0f}"],
-            ["shared load requests", m.shared_load_requests],
-            ["bytes staged to shared", m.bytes_staged_shared],
-            ["branch efficiency", f"{m.branch_efficiency:.3f}"],
-            ["warp efficiency", f"{m.warp_efficiency:.3f}"],
-            ["warp instructions", m.warp_instructions],
-            ["txn roof (s)", f"{t.txn_s:.3e}"],
-            ["dram roof (s)", f"{t.dram_s:.3e}"],
-            ["l2 roof (s)", f"{t.l2_s:.3e}"],
-            ["compute roof (s)", f"{t.compute_s:.3e}"],
-            ["shared roof (s)", f"{t.shared_s:.3e}"],
+            ["simulated seconds", f"{val('gpu.timing.seconds'):.6e}"],
+            ["bound by", result.timing.bound_by],
+            ["global load requests",
+             int(val("gpu.kernel.global_load_requests"))],
+            ["global load transactions",
+             int(val("gpu.kernel.global_load_transactions"))],
+            ["  cold (DRAM)", int(val("gpu.kernel.dram_transactions"))],
+            ["  served by L1", int(val("gpu.kernel.l1_transactions"))],
+            ["issue-weighted transactions",
+             f"{val('gpu.kernel.issue_weighted_transactions'):.0f}"],
+            ["shared load requests",
+             int(val("gpu.kernel.shared_load_requests"))],
+            ["bytes staged to shared",
+             int(val("gpu.kernel.bytes_staged_shared"))],
+            ["branch efficiency",
+             f"{val('gpu.kernel.branch_efficiency'):.3f}"],
+            ["warp efficiency", f"{val('gpu.kernel.warp_efficiency'):.3f}"],
+            ["warp instructions",
+             int(val("gpu.kernel.warp_instructions"))],
+            ["txn roof (s)", f"{val('gpu.timing.txn_s'):.3e}"],
+            ["dram roof (s)", f"{val('gpu.timing.dram_s'):.3e}"],
+            ["l2 roof (s)", f"{val('gpu.timing.l2_s'):.3e}"],
+            ["compute roof (s)", f"{val('gpu.timing.compute_s'):.3e}"],
+            ["shared roof (s)", f"{val('gpu.timing.shared_s'):.3e}"],
         ],
         title=f"Profile: {name}",
     )

@@ -164,6 +164,7 @@ class HierarchicalForestClassifier:
         y_true: Optional[np.ndarray] = None,
         include_transfer: bool = False,
         launch_gate: Optional[Callable[[], float]] = None,
+        observer=None,
     ) -> RunResult:
         """Run one simulated classification and return its result.
 
@@ -179,11 +180,17 @@ class HierarchicalForestClassifier:
         guarded execution; see :mod:`repro.reliability`); with
         ``config.verify_integrity`` the kernel re-checks the layout's
         build-time checksums before traversing.
+
+        ``observer`` is an observability sink (duck-typed, e.g.
+        :class:`repro.obs.ObsSession`): the kernel reports each launch to
+        it, and with ``include_transfer=True`` the query round trip is
+        reported via ``on_transfer``.
         """
         layout = self.layout_for(config)
         kernel_kwargs = {
             "launch_gate": launch_gate,
             "verify_layout": config.verify_integrity,
+            "observer": observer,
         }
         if config.platform is Platform.GPU:
             kernel = _GPU_KERNELS[config.variant](spec=self.gpu, **kernel_kwargs)
@@ -211,6 +218,12 @@ class HierarchicalForestClassifier:
                 layout
             )
             seconds = seconds + roundtrip
+            if observer is not None and hasattr(observer, "on_transfer"):
+                observer.on_transfer(
+                    "query-roundtrip",
+                    roundtrip,
+                    nbytes=X.shape[0] * X.shape[1] * 4,
+                )
         accuracy = None
         if y_true is not None:
             accuracy = accuracy_score(y_true, out.predictions)
@@ -228,6 +241,7 @@ class HierarchicalForestClassifier:
         config: RunConfig = RunConfig(),
         batch_size: int = 4096,
         y_true: Optional[np.ndarray] = None,
+        observer=None,
     ) -> "BatchedRunResult":
         """Classify ``X`` in fixed-size batches (inference-service style).
 
@@ -247,7 +261,7 @@ class HierarchicalForestClassifier:
         batch_seconds = []
         for lo in range(0, X.shape[0], batch_size):
             hi = min(lo + batch_size, X.shape[0])
-            res = self.classify(X[lo:hi], config)
+            res = self.classify(X[lo:hi], config, observer=observer)
             preds[lo:hi] = res.predictions
             batch_seconds.append(res.seconds)
         accuracy = None

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable, Dict
+
+from repro.utils.clock import Stopwatch
 
 from repro.experiments import (
     fault_sweep,
@@ -78,9 +79,9 @@ def main(argv=None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        # perf_counter, not time.time: monotonic, immune to clock steps.
-        # This module is on statcheck DET001's timing allowlist.
-        t0 = time.perf_counter()
+        # Stopwatch wraps perf_counter (monotonic, immune to clock steps);
+        # repro/utils/clock.py is statcheck DET001's timing seam.
+        watch = Stopwatch()
         print(f"=== {name} (scale={args.scale}) ===")
         rows = EXPERIMENTS[name](scale=args.scale)
         if args.out:
@@ -89,7 +90,7 @@ def main(argv=None) -> int:
             path = f"{args.out}/{name}_{args.scale}.json"
             save_rows(rows, path)
             print(f"[rows saved to {path}]")
-        print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+        print(f"[{name} done in {watch.elapsed():.1f}s]\n")
     return 0
 
 

@@ -99,14 +99,28 @@ _DATASETS: Dict[Tuple, Dataset] = {}
 _FORESTS: Dict[Tuple, RandomForestClassifier] = {}
 
 
-def cache_dir() -> str:
-    """On-disk cache directory for trained forests."""
+def _cache_root() -> str:
+    """Root of the on-disk cache (``REPRO_CACHE_DIR`` or ``<repo>/.cache``)."""
     root = os.environ.get("REPRO_CACHE_DIR")
     if root is None:
         here = os.path.dirname(os.path.abspath(__file__))
         repo = os.path.dirname(os.path.dirname(os.path.dirname(here)))
         root = os.path.join(repo, ".cache")
-    path = os.path.join(root, "forests")
+    return root
+
+
+def cache_dir() -> str:
+    """On-disk cache directory for trained forests."""
+    path = os.path.join(_cache_root(), "forests")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def manifest_dir() -> str:
+    """Where run manifests land (``REPRO_MANIFEST_DIR`` overrides)."""
+    path = os.environ.get("REPRO_MANIFEST_DIR")
+    if path is None:
+        path = os.path.join(_cache_root(), "manifests")
     os.makedirs(path, exist_ok=True)
     return path
 
@@ -187,3 +201,39 @@ def load_rows(path: str):
     """Read rows previously written by :func:`save_rows`."""
     with open(path) as f:
         return json.load(f)
+
+
+def emit_manifest(
+    experiment: str,
+    scale,
+    rows,
+    extra_counters: Optional[Dict[str, float]] = None,
+    path: Optional[str] = None,
+) -> str:
+    """Write the run manifest every experiment entry point must emit.
+
+    Aggregates the experiment's row dicts into deterministic counters
+    (``rows.count`` plus per-column sum/min/max), merges any
+    ``extra_counters`` and writes one JSONL manifest under
+    :func:`manifest_dir` (or an explicit ``path``).  ``repro.obs diff``
+    compares two such files; the statcheck OBS001 rule enforces that every
+    experiment module routes through here.  Returns the path written.
+    """
+    from repro.obs.manifest import (
+        build_manifest,
+        rows_to_counters,
+        write_manifest,
+    )
+
+    scale = get_scale(scale)
+    counters = rows_to_counters(rows)
+    if extra_counters:
+        counters.update(extra_counters)
+    manifest = build_manifest(experiment, scale.name, counters)
+    if path is None:
+        path = os.path.join(
+            manifest_dir(), f"{experiment}_{scale.name}.jsonl"
+        )
+    write_manifest(path, manifest)
+    print(f"[run manifest: {path}]")
+    return path

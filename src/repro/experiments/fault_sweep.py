@@ -206,7 +206,7 @@ def render(rows: List[Dict]) -> str:
 
 
 def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
-    from repro.experiments.common import save_rows
+    from repro.experiments.common import emit_manifest, save_rows
 
     rows = run(scale)
     print(render(rows))
@@ -214,4 +214,5 @@ def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
     path = f"results/fault_sweep_{scale_name}.json"
     save_rows(rows, path)
     print(f"[rows saved to {path}]")
+    emit_manifest("fault_sweep", scale, rows)
     return rows

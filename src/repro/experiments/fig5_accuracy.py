@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.datasets.profiles import PROFILES
-from repro.experiments.common import get_dataset, get_scale
+from repro.experiments.common import emit_manifest, get_dataset, get_scale
 from repro.forest.random_forest import RandomForestClassifier
 import numpy as np
 
@@ -97,4 +97,5 @@ def render(rows: List[Dict]) -> str:
 def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
     rows = run(scale)
     print(render(rows))
+    emit_manifest("fig5", scale, rows)
     return rows

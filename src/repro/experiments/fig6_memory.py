@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.common import band_depths, get_forest, get_scale
+from repro.experiments.common import band_depths, emit_manifest, get_forest, get_scale
 from repro.layout.csr import CSRForest
 from repro.layout.footprint import csr_bytes, footprint_ratio, hierarchical_bytes
 from repro.layout.hierarchical import HierarchicalForest, LayoutParams
@@ -72,4 +72,5 @@ def render(rows: List[Dict]) -> str:
 def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
     rows = run(scale)
     print(render(rows))
+    emit_manifest("fig6", scale, rows)
     return rows

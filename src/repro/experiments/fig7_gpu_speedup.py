@@ -14,6 +14,7 @@ from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.experiments.common import (
     band_depths,
+    emit_manifest,
     get_dataset,
     get_forest,
     get_scale,
@@ -123,4 +124,5 @@ def render(rows: List[Dict]) -> str:
 def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
     rows = run(scale)
     print(render(rows))
+    emit_manifest("fig7", scale, rows)
     return rows

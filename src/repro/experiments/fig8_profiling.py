@@ -16,6 +16,7 @@ from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, RunConfig
 from repro.experiments.common import (
     band_depths,
+    emit_manifest,
     get_dataset,
     get_forest,
     get_scale,
@@ -81,4 +82,5 @@ def render(rows: List[Dict]) -> str:
 def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
     rows = run(scale)
     print(render(rows))
+    emit_manifest("fig8", scale, rows)
     return rows

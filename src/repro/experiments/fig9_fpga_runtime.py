@@ -15,6 +15,7 @@ from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.experiments.common import (
     band_depths,
+    emit_manifest,
     get_dataset,
     get_forest,
     get_scale,
@@ -115,4 +116,5 @@ def render(rows: List[Dict]) -> str:
 def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
     rows = run(scale)
     print(render(rows))
+    emit_manifest("fig9", scale, rows)
     return rows

@@ -17,7 +17,7 @@ from typing import Dict, List
 from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.datasets.profiles import make_synthetic_forest
-from repro.experiments.common import get_scale
+from repro.experiments.common import emit_manifest, get_scale
 from repro.fpgasim.replication import Replication
 from repro.layout.hierarchical import LayoutParams
 from repro.utils.tables import format_table
@@ -127,4 +127,5 @@ def render(rows: List[Dict]) -> str:
 def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
     rows = run(scale)
     print(render(rows))
+    emit_manifest("table3", scale, rows)
     return rows

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.fpgasim.device import FPGASpec
 from repro.fpgasim.replication import Replication
@@ -49,6 +49,11 @@ class EventSimResult:
         return self.stall_cycles / self.cycles if self.cycles else 0.0
 
 
+#: Per-item event callback: (cu, item_index, admit_cycle, finish_cycle).
+#: Wired up by the obs timeline export to draw per-CU activity lanes.
+ItemRecorder = Callable[[int, int, float, float], None]
+
+
 def simulate_slr(
     spec: FPGASpec,
     n_cus: int,
@@ -57,10 +62,15 @@ def simulate_slr(
     accesses_per_item: int = 1,
     stream_bytes_per_item: float = 0.0,
     freq_mhz: float = None,
+    recorder: Optional[ItemRecorder] = None,
 ) -> EventSimResult:
     """Simulate one SLR: ``n_cus`` CUs sharing one memory channel.
 
     Returns the makespan in cycles (the slowest CU's completion time).
+    ``recorder`` (if given) is called once per retired item with
+    ``(cu, item_index, admit_cycle, finish_cycle)`` in retirement order —
+    the hook the observability layer uses to render the event-level
+    timeline without changing the simulation itself.
     """
     check_positive_int(n_cus, "n_cus")
     check_positive_int(items_per_cu, "items_per_cu")
@@ -105,6 +115,8 @@ def simulate_slr(
             start = channel_free
         finish = max(t + ii, start)
         cu_stall[cu] += finish - (t + ii)
+        if recorder is not None:
+            recorder(cu, items_per_cu - remaining[cu], t, finish)
         remaining[cu] -= 1
         cu_ready[cu] = finish
         if remaining[cu]:

@@ -48,6 +48,17 @@ class Replication:
         split = " split" if self.split_stage1 else ""
         return f"{self.n_slrs}S{self.cus_per_slr}C{split}"
 
+    def iter_cus(self):
+        """``(slr, cu)`` pairs in deterministic (SLR-major) order."""
+        for slr in range(self.n_slrs):
+            for cu in range(self.cus_per_slr):
+                yield slr, cu
+
+    @staticmethod
+    def cu_track(slr: int, cu: int) -> str:
+        """Timeline track name for one CU (obs trace lanes)."""
+        return f"fpga/slr{slr}/cu{cu}"
+
 
 #: Table 3's configurations.
 SINGLE_CU = Replication()

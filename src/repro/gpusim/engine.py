@@ -47,6 +47,15 @@ class WarpGrid:
         """Block id of each query (for cooperative-load accounting)."""
         return np.asarray(query_idx) // self.spec.threads_per_block
 
+    def launch_dims(self) -> dict:
+        """Launch geometry as flat span/report args (obs timeline export)."""
+        return {
+            "n_queries": self.n,
+            "n_warps": self.n_warps,
+            "n_blocks": self.n_blocks,
+            "warp_size": self.warp_size,
+        }
+
     # ------------------------------------------------------------------
     def active_warps(self, active: np.ndarray) -> int:
         """Number of warps with at least one active lane."""

@@ -11,6 +11,34 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 
+#: Monotonic accumulator fields (merge() sums these; the obs bridge
+#: ingests them as registry counters under ``gpu.kernel.<field>``).
+COUNTER_FIELDS = (
+    "global_load_requests",
+    "global_load_transactions",
+    "dram_transactions",
+    "l1_transactions",
+    "issue_weighted_transactions",
+    "shared_load_requests",
+    "branches",
+    "uniform_branches",
+    "warp_instructions",
+    "active_lanes",
+    "lane_slots",
+    "bytes_staged_shared",
+    "block_syncs",
+    "footprint_bytes",
+    "launches",
+)
+
+#: Derived ratio properties (registry gauges under ``gpu.kernel.<name>``).
+GAUGE_FIELDS = (
+    "branch_efficiency",
+    "warp_efficiency",
+    "coalescing_ratio",
+)
+
+
 @dataclass
 class KernelMetrics:
     """Aggregated execution counters for one simulated kernel launch."""
@@ -85,23 +113,7 @@ class KernelMetrics:
     # ------------------------------------------------------------------
     def merge(self, other: "KernelMetrics") -> "KernelMetrics":
         """Accumulate ``other`` into self (e.g. per-tree sub-launches)."""
-        for f in (
-            "global_load_requests",
-            "global_load_transactions",
-            "dram_transactions",
-            "l1_transactions",
-            "issue_weighted_transactions",
-            "shared_load_requests",
-            "branches",
-            "uniform_branches",
-            "warp_instructions",
-            "active_lanes",
-            "lane_slots",
-            "bytes_staged_shared",
-            "block_syncs",
-            "footprint_bytes",
-            "launches",
-        ):
+        for f in COUNTER_FIELDS:
             setattr(self, f, getattr(self, f) + getattr(other, f))
         return self
 

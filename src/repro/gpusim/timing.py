@@ -53,6 +53,17 @@ class KernelTiming:
             "bound_by": self.bound_by,
         }
 
+    def components(self) -> "list[tuple[str, float]]":
+        """The roofline parts in a fixed order (obs span args / gauges)."""
+        return [
+            ("dram", self.dram_s),
+            ("l2", self.l2_s),
+            ("txn", self.txn_s),
+            ("shared", self.shared_s),
+            ("compute", self.compute_s),
+            ("overhead", self.overhead_s),
+        ]
+
 
 class TimingModel:
     """Converts :class:`KernelMetrics` into seconds for a given device."""

@@ -97,6 +97,7 @@ class GPUKernel(ABC):
         record_trace: bool = False,
         launch_gate: Optional[Callable[[], float]] = None,
         verify_layout: bool = False,
+        observer=None,
     ):
         self.spec = spec
         self.timing_model = timing_model or TimingModel(spec)
@@ -106,6 +107,9 @@ class GPUKernel(ABC):
         self.launch_gate = launch_gate
         #: Re-verify the layout's build-time checksums before traversing.
         self.verify_layout = bool(verify_layout)
+        #: Observability sink (duck-typed, e.g. repro.obs.ObsSession); its
+        #: ``on_gpu_kernel(kernel, result, grid)`` fires after each run.
+        self.observer = observer
         #: TraceLog of the most recent run (when record_trace is set).
         self.trace = None
 
@@ -145,13 +149,16 @@ class GPUKernel(ABC):
             }
             for name, tr in self._site_trackers.items()
         }
-        return GPUKernelResult(
+        result = GPUKernelResult(
             predictions=votes.argmax(axis=1),
             votes=votes,
             metrics=metrics,
             timing=timing,
             site_stats=site_stats,
         )
+        if self.observer is not None:
+            self.observer.on_gpu_kernel(self, result, grid)
+        return result
 
     def _finalize_timing(self, timing, grid, metrics):
         """Hook for kernels with costs outside the counter roofline (e.g.

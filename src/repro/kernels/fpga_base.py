@@ -52,6 +52,7 @@ class FPGAKernel(ABC):
         spec: FPGASpec = ALVEO_U250,
         launch_gate: Optional[Callable[[], float]] = None,
         verify_layout: bool = False,
+        observer=None,
     ):
         self.spec = spec
         self.timer = PipelineTimer(spec)
@@ -60,6 +61,9 @@ class FPGAKernel(ABC):
         self.launch_gate = launch_gate
         #: Re-verify the layout's build-time checksums before traversing.
         self.verify_layout = bool(verify_layout)
+        #: Observability sink (duck-typed, e.g. repro.obs.ObsSession); its
+        #: ``on_fpga_kernel(kernel, result, replication)`` fires per run.
+        self.observer = observer
 
     def run(
         self,
@@ -78,12 +82,15 @@ class FPGAKernel(ABC):
             verify_layout_integrity(layout)
         votes = np.zeros((X.shape[0], layout.n_classes), dtype=np.int64)
         pipeline = self._run(layout, X, replication, votes)
-        return FPGAKernelResult(
+        result = FPGAKernelResult(
             predictions=votes.argmax(axis=1),
             votes=votes,
             pipeline=pipeline,
             penalty_s=hang_s,
         )
+        if self.observer is not None:
+            self.observer.on_fpga_kernel(self, result, replication)
+        return result
 
     @abstractmethod
     def _run(

@@ -1,0 +1,73 @@
+"""repro.obs — deterministic observability for the simulated pipeline.
+
+One namespace over everything the repo can measure: a span
+:class:`~repro.obs.tracer.Tracer` on the simulated clock, a labeled
+:class:`~repro.obs.registry.MetricsRegistry`, bridges that ingest the
+per-subsystem counter silos, and deterministic exporters (Chrome trace,
+Prometheus text, JSONL run manifests).  ``python -m repro.obs`` drives it
+from the command line.
+"""
+
+from repro.obs.bridges import (
+    ObsSession,
+    record_eventsim,
+    record_kernel_metrics,
+    record_kernel_timing,
+    record_layout_footprint,
+    record_pipeline,
+    record_reliability,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    registry_manifest_counters,
+    render_chrome_trace,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.manifest import (
+    CounterDelta,
+    ManifestDiff,
+    RunManifest,
+    build_manifest,
+    diff_manifests,
+    read_manifest,
+    render_manifest,
+    rows_to_counters,
+    write_manifest,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import CounterSample, Instant, Span, Tracer
+
+__all__ = [
+    "ObsSession",
+    "record_eventsim",
+    "record_kernel_metrics",
+    "record_kernel_timing",
+    "record_layout_footprint",
+    "record_pipeline",
+    "record_reliability",
+    "chrome_trace_events",
+    "prometheus_text",
+    "registry_manifest_counters",
+    "render_chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+    "CounterDelta",
+    "ManifestDiff",
+    "RunManifest",
+    "build_manifest",
+    "diff_manifests",
+    "read_manifest",
+    "render_manifest",
+    "rows_to_counters",
+    "write_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CounterSample",
+    "Instant",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,291 @@
+"""Bridges: feed existing per-subsystem counters into the unified registry.
+
+Before this module every subsystem kept its own silo —
+:class:`~repro.gpusim.metrics.KernelMetrics` in gpusim,
+:class:`~repro.fpgasim.pipeline.PipelineResult` in fpgasim,
+:class:`~repro.reliability.guard.ReliabilityReport` in the serving guard,
+byte accounting in :mod:`repro.layout.footprint`.  The functions here map
+each silo into one namespace (see docs/architecture.md §8 for the naming
+scheme), and :class:`ObsSession` packages a registry + tracer pair behind
+the duck-typed observer hooks that :class:`~repro.kernels.base.GPUKernel`,
+:class:`~repro.kernels.fpga_base.FPGAKernel` and
+:class:`~repro.reliability.guard.ResilientClassifier` call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.gpusim.metrics import COUNTER_FIELDS, GAUGE_FIELDS
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.utils.clock import SimulatedClock
+
+#: Latency-histogram buckets in simulated seconds (sub-us to 10 s).
+LATENCY_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+# ----------------------------------------------------------------------
+# GPU
+# ----------------------------------------------------------------------
+def record_kernel_metrics(registry: MetricsRegistry, metrics,
+                          **labels) -> None:
+    """Ingest a :class:`KernelMetrics` as ``gpu.kernel.*`` counters.
+
+    The paper's Fig. 8 nvprof counters land here: ``global load requests``
+    is ``gpu.kernel.global_load_requests``, ``branch_efficiency`` is the
+    gauge of the same name.
+    """
+    for field in COUNTER_FIELDS:
+        registry.counter(
+            f"gpu.kernel.{field}",
+            "simulated kernel counter (nvprof analogue)",
+        ).inc(float(getattr(metrics, field)), **labels)
+    for field in GAUGE_FIELDS:
+        registry.gauge(
+            f"gpu.kernel.{field}", "derived kernel ratio"
+        ).set(float(getattr(metrics, field)), **labels)
+
+
+def record_kernel_timing(registry: MetricsRegistry, timing,
+                         **labels) -> None:
+    """Ingest a :class:`KernelTiming` as ``gpu.timing.*``."""
+    registry.counter(
+        "gpu.timing.seconds", "simulated kernel seconds (roofline)"
+    ).inc(timing.seconds, **labels)
+    for component, seconds in timing.components():
+        registry.gauge(
+            f"gpu.timing.{component}_s", "roofline component seconds"
+        ).set(seconds, **labels)
+    registry.counter(
+        "gpu.timing.bound_by_total", "launches bound by each component"
+    ).inc(1.0, component=timing.bound_by, **labels)
+
+
+# ----------------------------------------------------------------------
+# FPGA
+# ----------------------------------------------------------------------
+def record_pipeline(registry: MetricsRegistry, pipeline,
+                    **labels) -> None:
+    """Ingest a :class:`PipelineResult` as ``fpga.pipeline.*``."""
+    registry.counter(
+        "fpga.pipeline.seconds", "simulated pipeline seconds"
+    ).inc(pipeline.seconds, **labels)
+    registry.counter(
+        "fpga.pipeline.work_items", "work items pushed through the pipeline"
+    ).inc(pipeline.work_items, **labels)
+    registry.counter(
+        "fpga.pipeline.cycles_per_cu", "per-CU cycles including stalls"
+    ).inc(pipeline.cycles_per_cu, **labels)
+    registry.gauge(
+        "fpga.pipeline.stall_pct", "stalled fraction of pipeline cycles"
+    ).set(pipeline.stall_pct, **labels)
+    ii = pipeline.ii
+    if ii == ii:  # combined stages report NaN
+        registry.gauge(
+            "fpga.pipeline.ii", "initiation interval, cycles"
+        ).set(ii, **labels)
+    registry.gauge(
+        "fpga.pipeline.freq_mhz", "achieved clock, MHz"
+    ).set(pipeline.freq_mhz, **labels)
+
+
+def record_eventsim(registry: MetricsRegistry, result, **labels) -> None:
+    """Ingest an :class:`EventSimResult` as ``fpga.eventsim.*``."""
+    registry.counter(
+        "fpga.eventsim.cycles", "event-driven makespan, cycles"
+    ).inc(result.cycles, **labels)
+    registry.counter(
+        "fpga.eventsim.stall_cycles", "slowest CU's channel-wait cycles"
+    ).inc(result.stall_cycles, **labels)
+    registry.gauge(
+        "fpga.eventsim.channel_utilisation", "channel busy fraction"
+    ).set(result.channel_utilisation, **labels)
+
+
+# ----------------------------------------------------------------------
+# Layouts
+# ----------------------------------------------------------------------
+def record_layout_footprint(registry: MetricsRegistry, layout,
+                            **labels) -> None:
+    """Record a layout's device byte footprint as ``layout.bytes``.
+
+    Accepts either representation (CSR or hierarchical) and labels the
+    sample with the detected kind.
+    """
+    from repro.layout.csr import CSRForest
+    from repro.layout.footprint import csr_bytes, hierarchical_bytes
+    from repro.layout.hierarchical import HierarchicalForest
+
+    if isinstance(layout, CSRForest):
+        kind, nbytes = "csr", csr_bytes(layout)
+    elif isinstance(layout, HierarchicalForest):
+        kind, nbytes = "hierarchical", hierarchical_bytes(layout)
+    else:
+        return  # e.g. the cuML FIL baseline: no byte model
+    registry.gauge(
+        "layout.bytes", "device-resident representation footprint"
+    ).set(nbytes, kind=kind, **labels)
+    registry.gauge(
+        "layout.trees", "trees in the layout"
+    ).set(layout.n_trees, kind=kind, **labels)
+
+
+# ----------------------------------------------------------------------
+# Serving guard
+# ----------------------------------------------------------------------
+def record_reliability(registry: MetricsRegistry, report,
+                       **labels) -> None:
+    """Ingest a :class:`ReliabilityReport` as ``guard.*`` counters."""
+    c = report.as_dict()
+    for field in (
+        "attempts",
+        "retries",
+        "transient_failures",
+        "deadline_exceeded",
+        "integrity_failures",
+        "breaker_skips",
+        "transfer_verifications",
+        "calls",
+    ):
+        registry.counter(
+            f"guard.{field}", "guard event count"
+        ).inc(float(c[field]), **labels)
+    registry.counter(
+        "guard.backoff_seconds", "simulated seconds spent in retry backoff"
+    ).inc(report.backoff_seconds, **labels)
+    registry.counter(
+        "guard.degraded_calls", "calls answered by degraded quorum voting"
+    ).inc(1.0 if report.degraded else 0.0, **labels)
+    registry.counter(
+        "guard.dropped_trees", "trees excluded by integrity checks"
+    ).inc(float(len(report.dropped_trees)), **labels)
+    registry.counter(
+        "guard.served_total", "calls served per final platform"
+    ).inc(1.0, platform=report.platform_used or "unknown", **labels)
+    registry.gauge(
+        "guard.fallback_depth_max", "worst fallback-ladder depth seen"
+    ).max(float(report.fallback_depth), **labels)
+    for name, old, new in report.breaker_transitions:
+        registry.counter(
+            "guard.breaker_transitions", "circuit-breaker state changes"
+        ).inc(1.0, breaker=name, to=new, **labels)
+
+
+# ----------------------------------------------------------------------
+# The observer the hooks talk to
+# ----------------------------------------------------------------------
+class ObsSession:
+    """One observed run: registry + tracer over a shared simulated clock.
+
+    Instances satisfy the duck-typed observer protocol of the kernel base
+    classes, the classifier front door and the serving guard:
+
+    * ``on_gpu_kernel(kernel, result, grid)``
+    * ``on_fpga_kernel(kernel, result, replication)``
+    * ``on_transfer(direction, seconds, nbytes)``
+    * ``on_guarded_call(result, report)``
+
+    Consecutive kernel launches lay out end-to-end on the simulated
+    timeline (the device stream is serial); FPGA CU lanes run in parallel
+    between one start and end.
+    """
+
+    def __init__(self, clock: Optional[SimulatedClock] = None):
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock)
+
+    # -- kernel hooks ---------------------------------------------------
+    def on_gpu_kernel(self, kernel, result, grid=None) -> None:
+        name = getattr(kernel, "name", "gpu-kernel")
+        record_kernel_metrics(self.registry, result.metrics, kernel=name)
+        record_kernel_timing(self.registry, result.timing, kernel=name)
+        self.registry.histogram(
+            "gpu.launch.seconds", "per-launch simulated latency",
+            buckets=LATENCY_BUCKETS,
+        ).observe(result.seconds, kernel=name)
+        args: Dict[str, object] = {"bound_by": result.timing.bound_by}
+        for component, seconds in result.timing.components():
+            args[f"{component}_s"] = seconds
+        if grid is not None:
+            args.update(grid.launch_dims())
+        start = self.clock.now()
+        self.tracer.add_span("gpu", name, result.seconds, cat="kernel",
+                             args=args)
+        self.tracer.sample(
+            "gpu counters",
+            "global load transactions",
+            {
+                "dram": float(result.metrics.dram_transactions),
+                "l2": float(result.metrics.l2_transactions),
+                "l1": float(result.metrics.l1_transactions),
+            },
+            ts_s=start,
+        )
+
+    def on_fpga_kernel(self, kernel, result, replication) -> None:
+        name = getattr(kernel, "name", "fpga-kernel")
+        record_pipeline(self.registry, result.pipeline, kernel=name,
+                        replication=replication.label)
+        self.registry.histogram(
+            "fpga.launch.seconds", "per-launch simulated latency",
+            buckets=LATENCY_BUCKETS,
+        ).observe(result.seconds, kernel=name)
+        start = self.clock.now()
+        args = {
+            "replication": replication.label,
+            "stall_pct": result.pipeline.stall_pct,
+            "work_items": result.pipeline.work_items,
+        }
+        # All CUs run in parallel between start and start + seconds; draw
+        # one lane per CU and advance the shared clock once.
+        for slr, cu in replication.iter_cus():
+            self.tracer.add_span(
+                replication.cu_track(slr, cu),
+                name,
+                result.seconds,
+                start_s=start,
+                cat="kernel",
+                args=args,
+            )
+        self.clock.advance(result.seconds)
+
+    # -- transfers ------------------------------------------------------
+    def on_transfer(self, direction: str, seconds: float,
+                    nbytes: Optional[int] = None) -> None:
+        args: Dict[str, object] = {}
+        if nbytes is not None:
+            args["bytes"] = int(nbytes)
+            self.registry.counter(
+                "transfer.bytes", "host<->device bytes moved"
+            ).inc(float(nbytes), direction=direction)
+        self.registry.counter(
+            "transfer.seconds", "simulated PCIe transfer seconds"
+        ).inc(seconds, direction=direction)
+        self.tracer.add_span("pcie", direction, seconds, cat="transfer",
+                             args=args)
+
+    # -- guard ----------------------------------------------------------
+    def on_guarded_call(self, result, report) -> None:
+        record_reliability(self.registry, report)
+        self.registry.histogram(
+            "guard.call.seconds", "guarded call latency (simulated)",
+            buckets=LATENCY_BUCKETS,
+        ).observe(result.seconds)
+        if report.fallback_depth or report.degraded:
+            self.tracer.instant(
+                "guard",
+                "fallback" if report.fallback_depth else "degraded-quorum",
+                args={
+                    "platform_used": report.platform_used,
+                    "fallback_depth": report.fallback_depth,
+                    "dropped_trees": len(report.dropped_trees),
+                },
+            )
+        for name, old, new in report.breaker_transitions:
+            self.tracer.instant(
+                "guard",
+                f"breaker {name}: {old} -> {new}",
+                args={"breaker": name, "from": old, "to": new},
+            )

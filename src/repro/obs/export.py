@@ -1,0 +1,176 @@
+"""Exporters: Chrome-trace/Perfetto JSON and Prometheus text exposition.
+
+Both formats are rendered deterministically (sorted keys, fixed
+separators, ``\\n`` line endings) so a seeded run exports byte-identical
+artifacts — the golden-file tests depend on it.
+
+* :func:`render_chrome_trace` — load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to *see* the simulated timeline: GPU kernel
+  launches, per-CU FPGA lanes, PCIe transfers, guard activity.  Timestamps
+  are simulated microseconds.
+* :func:`prometheus_text` — the text exposition format a scrape endpoint
+  would serve; the serving example prints it as its metrics page.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List
+
+from repro.obs.registry import Histogram, MetricsRegistry, format_labels
+from repro.obs.tracer import Tracer
+
+#: Chrome-trace timestamps are microseconds; ours are simulated seconds.
+_US = 1e6
+
+#: Single simulated process id for all tracks.
+_PID = 1
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict]:
+    """The ``traceEvents`` list for one tracer, deterministically ordered."""
+    events: List[Dict] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro simulated device timeline"},
+        }
+    ]
+    # Thread-name metadata: one row per track, in first-use (= id) order.
+    for track, tid in sorted(tracer.tracks.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+    tracks = tracer.tracks
+    for s in tracer.spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": tracks[s.track],
+                "name": s.name,
+                "cat": s.cat,
+                "ts": s.start_s * _US,
+                "dur": s.dur_s * _US,
+                "args": dict(s.args),
+            }
+        )
+    for i in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "pid": _PID,
+                "tid": tracks[i.track],
+                "name": i.name,
+                "cat": i.cat,
+                "ts": i.ts_s * _US,
+                "s": "t",  # thread-scoped instant
+                "args": dict(i.args),
+            }
+        )
+    for c in tracer.counters:
+        events.append(
+            {
+                "ph": "C",
+                "pid": _PID,
+                "tid": tracks[c.track],
+                "name": c.name,
+                "ts": c.ts_s * _US,
+                "args": dict(c.values),
+            }
+        )
+    return events
+
+
+def render_chrome_trace(tracer: Tracer) -> str:
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False) + "\n"
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> str:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as f:
+        f.write(render_chrome_trace(tracer))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Registry dotted names -> Prometheus underscore names."""
+    return name.replace(".", "_")
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_labels(items, extra=()) -> str:
+    pairs = list(items) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Text exposition (version 0.0.4) of the whole registry."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = _prom_name(metric.name)
+        if metric.help_text:
+            lines.append(f"# HELP {name} {metric.help_text}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key, total in metric.samples():
+                cumulative = metric.bucket_counts(**dict(key))
+                for bound, count in zip(metric.buckets, cumulative):
+                    le = "+Inf" if math.isinf(bound) else _prom_value(bound)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(key, [('le', le)])} {count}"
+                    )
+                lines.append(
+                    f"{name}_count{_prom_labels(key)} "
+                    f"{metric.count(**dict(key))}"
+                )
+                lines.append(
+                    f"{name}_sum{_prom_labels(key)} {_prom_value(total)}"
+                )
+        else:
+            for key, value in metric.samples():
+                lines.append(f"{name}{_prom_labels(key)} {_prom_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str, registry: MetricsRegistry) -> str:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as f:
+        f.write(prometheus_text(registry))
+    return path
+
+
+def registry_manifest_counters(registry: MetricsRegistry) -> Dict[str, float]:
+    """The registry flattened into manifest counters (same namespace)."""
+    return registry.as_flat_dict()

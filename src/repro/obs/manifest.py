@@ -1,0 +1,238 @@
+"""Run manifests: the JSONL record every experiment leaves behind.
+
+A manifest is the machine-readable receipt of one run: a ``run`` header
+line (experiment, scale, schema version, seeds) followed by one
+``counter`` line per metric, sorted by name.  Two invariants make it
+useful:
+
+* **Deterministic bytes** — counters come from simulated quantities and
+  serialize with sorted keys and fixed separators, so the same seed
+  produces the same file, byte for byte.  No timestamps, no hostnames.
+* **Diffable** — :func:`diff_manifests` pairs counters by name and flags
+  regressions on the lower-is-better ones (``python -m repro.obs diff``
+  exits non-zero), giving every perf PR a before/after artifact instead
+  of a claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 1
+
+#: Counter-name substrings whose *increase* is a regression (more simulated
+#: time, more memory traffic, more guard trouble).  Ratios like
+#: branch_efficiency or accuracy are higher-is-better and are reported as
+#: deltas but never flagged.
+LOWER_IS_BETTER = (
+    "seconds",
+    "cycles",
+    "transactions",
+    "requests",
+    "instructions",
+    "stall",
+    "retries",
+    "failures",
+    "skips",
+    "fallback",
+    "backoff",
+    "dropped",
+    "deadline",
+    "bytes",
+    "launches",
+)
+
+
+def is_lower_better(name: str) -> bool:
+    """Does an increase of this counter count as a regression?"""
+    base = name.split("{", 1)[0]
+    return any(tok in base for tok in LOWER_IS_BETTER)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Parsed manifest: run metadata plus the flat counter namespace."""
+
+    meta: Dict[str, object]
+    counters: Dict[str, float]
+
+    @property
+    def experiment(self) -> str:
+        return str(self.meta.get("experiment", "?"))
+
+
+def build_manifest(
+    experiment: str,
+    scale: str,
+    counters: Dict[str, float],
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> RunManifest:
+    meta: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "experiment": experiment,
+        "scale": scale,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    return RunManifest(meta=meta, counters=dict(counters))
+
+
+def rows_to_counters(rows: List[Dict]) -> Dict[str, float]:
+    """Aggregate experiment rows into manifest counters.
+
+    Every numeric column ``k`` becomes ``rows.k.sum`` / ``.min`` / ``.max``
+    (booleans and strings are skipped); ``rows.count`` records the row
+    count.  This keeps manifests schema-free: new experiment columns show
+    up in diffs without code changes.
+    """
+    out: Dict[str, float] = {"rows.count": float(len(rows))}
+    by_key: Dict[str, List[float]] = {}
+    for row in rows:
+        for k, v in row.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                continue
+            by_key.setdefault(str(k), []).append(float(v))
+    for k in sorted(by_key):
+        vals = by_key[k]
+        out[f"rows.{k}.sum"] = sum(vals)
+        out[f"rows.{k}.min"] = min(vals)
+        out[f"rows.{k}.max"] = max(vals)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Serialization (JSONL)
+# ----------------------------------------------------------------------
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def render_manifest(manifest: RunManifest) -> str:
+    """Deterministic JSONL text for one manifest."""
+    lines = [_dumps({"type": "run", **manifest.meta})]
+    for name in sorted(manifest.counters):
+        lines.append(
+            _dumps({"type": "counter", "name": name,
+                    "value": manifest.counters[name]})
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_manifest(path: str, manifest: RunManifest) -> str:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as f:
+        f.write(render_manifest(manifest))
+    return path
+
+
+def read_manifest(path: str) -> RunManifest:
+    meta: Optional[Dict[str, object]] = None
+    counters: Dict[str, float] = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            rec = json.loads(raw)
+            kind = rec.get("type")
+            if kind == "run":
+                if meta is not None:
+                    raise ValueError(f"{path}:{lineno}: duplicate run header")
+                meta = {k: v for k, v in rec.items() if k != "type"}
+            elif kind == "counter":
+                counters[str(rec["name"])] = float(rec["value"])
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record {kind!r}")
+    if meta is None:
+        raise ValueError(f"{path}: missing run header line")
+    schema = meta.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: manifest schema {schema!r}, expected {SCHEMA_VERSION}"
+        )
+    return RunManifest(meta=meta, counters=counters)
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CounterDelta:
+    """One counter compared across two manifests."""
+
+    name: str
+    baseline: float
+    candidate: float
+    regression: bool
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def rel(self) -> float:
+        """Relative change vs the baseline (inf when baseline is 0)."""
+        if self.baseline == 0.0:
+            return 0.0 if self.candidate == 0.0 else float("inf")
+        return self.delta / abs(self.baseline)
+
+
+@dataclass
+class ManifestDiff:
+    """Full comparison of a candidate manifest against a baseline."""
+
+    deltas: List[CounterDelta] = field(default_factory=list)
+    #: Counters present only in the baseline / only in the candidate.
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CounterDelta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def changed(self) -> List[CounterDelta]:
+        return [d for d in self.deltas if d.delta != 0.0]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def diff_manifests(
+    baseline: RunManifest,
+    candidate: RunManifest,
+    rel_tolerance: float = 0.0,
+) -> ManifestDiff:
+    """Compare counters by name; flag lower-is-better increases.
+
+    ``rel_tolerance`` is the allowed relative increase before a
+    lower-is-better counter is flagged (0.0 = any increase regresses —
+    right for this repo, where simulated counters are exact).
+    """
+    if rel_tolerance < 0:
+        raise ValueError("rel_tolerance must be non-negative")
+    diff = ManifestDiff()
+    a, b = baseline.counters, candidate.counters
+    for name in sorted(set(a) | set(b)):
+        if name not in b:
+            diff.missing.append(name)
+            continue
+        if name not in a:
+            diff.added.append(name)
+            continue
+        va, vb = a[name], b[name]
+        regression = (
+            is_lower_better(name)
+            and vb > va + abs(va) * rel_tolerance
+            and vb - va > 1e-12
+        )
+        diff.deltas.append(
+            CounterDelta(name=name, baseline=va, candidate=vb,
+                         regression=regression)
+        )
+    return diff

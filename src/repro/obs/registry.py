@@ -1,0 +1,200 @@
+"""Labeled metrics registry: counters, gauges, histograms.
+
+One namespace for every counter the simulators and the serving guard
+produce.  Names are dotted lowercase ``subsystem.object.quantity``
+(``gpu.kernel.global_load_transactions``, ``fpga.pipeline.stall_pct``,
+``guard.retries``); labels qualify a sample without forking the name
+(``kernel="hybrid"``, ``slr="0"``).  Everything renders deterministically:
+metrics sort by name, label sets by their sorted ``key=value`` items.
+
+The registry is a plain in-memory structure — exporters
+(:mod:`repro.obs.export`) turn it into Prometheus text or manifest
+counters; bridges (:mod:`repro.obs.bridges`) fill it from the existing
+per-subsystem counter objects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+_LABEL_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default histogram bucket upper bounds (simulated seconds oriented).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, float("inf")
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ValueError(f"invalid label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_labels(items: LabelItems) -> str:
+    """Render a label set as ``{a=1,b=x}`` (empty string for no labels)."""
+    if not items:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+
+
+class Metric:
+    """Base: a named family of samples keyed by label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = ""):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self._values: Dict[LabelItems, float] = {}
+
+    # ------------------------------------------------------------------
+    def samples(self) -> Iterator[Tuple[LabelItems, float]]:
+        """(label items, value) pairs in deterministic (sorted) order."""
+        for key in sorted(self._values):
+            yield key, self._values[key]
+
+    def value(self, **labels) -> float:
+        """The sample for one label set (0.0 if never touched)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def flat_items(self) -> Iterator[Tuple[str, float]]:
+        """``name{labels}`` -> value pairs (histograms override this)."""
+        for key, v in self.samples():
+            yield self.name + format_labels(key), v
+
+
+class Counter(Metric):
+    """Monotonically increasing sum (events, transactions, seconds spent)."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + float(value)
+
+
+class Gauge(Metric):
+    """Point-in-time value (ratios, footprints, configured sizes)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def max(self, value: float, **labels) -> None:
+        """Keep the running maximum (e.g. worst fallback depth seen)."""
+        key = _label_key(labels)
+        self._values[key] = max(self._values.get(key, float("-inf")),
+                                float(value))
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (latency distributions)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.buckets = bounds
+        self._counts: Dict[LabelItems, List[int]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        counts = self._counts.setdefault(key, [0] * len(self.buckets))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        self._values[key] = self._values.get(key, 0.0) + float(value)
+
+    def count(self, **labels) -> int:
+        counts = self._counts.get(_label_key(labels))
+        return sum(counts) if counts else 0
+
+    def bucket_counts(self, **labels) -> List[int]:
+        """Cumulative counts per bucket bound (Prometheus ``le`` style)."""
+        counts = self._counts.get(_label_key(labels), [0] * len(self.buckets))
+        out, running = [], 0
+        for c in counts:
+            running += c
+            out.append(running)
+        return out
+
+    def flat_items(self) -> Iterator[Tuple[str, float]]:
+        for key in sorted(self._counts):
+            suffix = format_labels(key)
+            yield self.name + "_count" + suffix, float(self.count(
+                **dict(key)))
+            yield self.name + "_sum" + suffix, self._values.get(key, 0.0)
+
+
+class MetricsRegistry:
+    """The unified metric namespace: create-or-fetch by name."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, requested {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help_text, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text,
+                                   buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[Metric]:
+        """All metrics sorted by name."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def as_flat_dict(self) -> Dict[str, float]:
+        """``name{labels}`` -> value for every sample, sorted by key.
+
+        This is the manifest/diff view of the registry: one flat, fully
+        qualified counter namespace.
+        """
+        out: Dict[str, float] = {}
+        for metric in self.metrics():
+            for key, value in metric.flat_items():
+                out[key] = value
+        return out

@@ -1,0 +1,170 @@
+"""Span-based tracing over an injected deterministic clock.
+
+A :class:`Tracer` records what the simulators *would have done on a real
+device*, on a timeline measured in **simulated seconds**: kernel launches,
+per-CU FPGA activity, PCIe transfers, guard retries/backoff.  Time comes
+from an injected :class:`~repro.utils.clock.Clock` — in practice a
+:class:`~repro.utils.clock.SimulatedClock` advanced by the timing models —
+never from the wall, so a seeded run produces a byte-identical trace on
+any machine (DET001-clean by construction).
+
+Tracks are named lanes (``gpu``, ``fpga/slr0/cu3``, ``pcie``, ``guard``)
+that map to thread rows in the Chrome-trace/Perfetto export
+(:mod:`repro.obs.export`).  Track ids are assigned in first-use order,
+which is deterministic because the simulation itself is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.utils.clock import Clock, SimulatedClock
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed interval on a track."""
+
+    track: str
+    name: str
+    start_s: float
+    dur_s: float
+    cat: str = "sim"
+    args: tuple = ()  # sorted (key, value) items; JSON-safe values
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.dur_s
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration structured event (fault injected, breaker opened)."""
+
+    track: str
+    name: str
+    ts_s: float
+    cat: str = "sim"
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """A counter-track sample (renders as a stacked area in Perfetto)."""
+
+    track: str
+    name: str
+    ts_s: float
+    values: tuple  # sorted (series, value) items
+
+
+def _freeze_args(args: Optional[Dict[str, object]]) -> tuple:
+    if not args:
+        return ()
+    return tuple(sorted(args.items()))
+
+
+@dataclass
+class Tracer:
+    """Collects spans/instants/counter samples against one clock."""
+
+    clock: Clock = field(default_factory=SimulatedClock)
+    spans: List[Span] = field(default_factory=list)
+    instants: List[Instant] = field(default_factory=list)
+    counters: List[CounterSample] = field(default_factory=list)
+    _tracks: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def track_id(self, track: str) -> int:
+        """Stable small integer id for a track (first-use order)."""
+        if track not in self._tracks:
+            self._tracks[track] = len(self._tracks)
+        return self._tracks[track]
+
+    @property
+    def tracks(self) -> Dict[str, int]:
+        return dict(self._tracks)
+
+    # ------------------------------------------------------------------
+    def add_span(
+        self,
+        track: str,
+        name: str,
+        dur_s: float,
+        start_s: Optional[float] = None,
+        cat: str = "sim",
+        args: Optional[Dict[str, object]] = None,
+        advance: bool = True,
+    ) -> Span:
+        """Record a completed interval.
+
+        The simulators compute durations analytically *after* the
+        functional pass, so spans are recorded retroactively: ``start_s``
+        defaults to the clock's current time and, when ``advance`` is set,
+        the clock moves to the span's end — consecutive launches lay out
+        end-to-end exactly as a serialized device stream would.  Parallel
+        lanes (FPGA CUs) pass ``advance=False`` and advance once.
+        """
+        if dur_s < 0:
+            raise ValueError("span duration must be non-negative")
+        start = self.clock.now() if start_s is None else float(start_s)
+        span = Span(
+            track=track,
+            name=name,
+            start_s=start,
+            dur_s=float(dur_s),
+            cat=cat,
+            args=_freeze_args(args),
+        )
+        self.track_id(track)
+        self.spans.append(span)
+        if advance and start_s is None and isinstance(self.clock,
+                                                      SimulatedClock):
+            self.clock.advance(dur_s)
+        return span
+
+    def instant(
+        self,
+        track: str,
+        name: str,
+        ts_s: Optional[float] = None,
+        cat: str = "sim",
+        args: Optional[Dict[str, object]] = None,
+    ) -> Instant:
+        ev = Instant(
+            track=track,
+            name=name,
+            ts_s=self.clock.now() if ts_s is None else float(ts_s),
+            cat=cat,
+            args=_freeze_args(args),
+        )
+        self.track_id(track)
+        self.instants.append(ev)
+        return ev
+
+    def sample(
+        self,
+        track: str,
+        name: str,
+        values: Dict[str, float],
+        ts_s: Optional[float] = None,
+    ) -> CounterSample:
+        s = CounterSample(
+            track=track,
+            name=name,
+            ts_s=self.clock.now() if ts_s is None else float(ts_s),
+            values=tuple(sorted(values.items())),
+        )
+        self.track_id(track)
+        self.counters.append(s)
+        return s
+
+    # ------------------------------------------------------------------
+    @property
+    def end_s(self) -> float:
+        """Latest event end on any track (0.0 when empty)."""
+        ends = [s.end_s for s in self.spans]
+        ends += [i.ts_s for i in self.instants]
+        ends += [c.ts_s for c in self.counters]
+        return max(ends) if ends else 0.0

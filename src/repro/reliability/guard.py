@@ -276,6 +276,7 @@ class ResilientClassifier:
         seed: int = 0,
         verify_before_launch: bool = True,
         verify_after_transfer: bool = True,
+        observer=None,
     ):
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
@@ -286,6 +287,10 @@ class ResilientClassifier:
         self.fault_plan = fault_plan
         self.verify_before_launch = bool(verify_before_launch)
         self.verify_after_transfer = bool(verify_after_transfer)
+        #: Observability sink (duck-typed, e.g. repro.obs.ObsSession):
+        #: forwarded to each kernel launch, and ``on_guarded_call(result,
+        #: report)`` fires once per guarded call with the final accounting.
+        self.observer = observer
         self._rng = as_rng(seed)
         self.breakers: Dict[Platform, CircuitBreaker] = {
             p: CircuitBreaker(breaker, p.value) for p in Platform
@@ -329,7 +334,9 @@ class ResilientClassifier:
         if self.verify_after_transfer:
             self._verify_transfer(config, report)
         gate = self.fault_plan.launch_gate if self.fault_plan else None
-        res = self.inner.classify(X, config, launch_gate=gate)
+        res = self.inner.classify(
+            X, config, launch_gate=gate, observer=self.observer
+        )
         if self.deadline_s is not None and res.seconds > self.deadline_s:
             raise DeadlineExceededError(
                 f"run took {res.seconds:.6f}s simulated "
@@ -414,6 +421,8 @@ class ResilientClassifier:
         if y_true is not None:
             result.accuracy = accuracy_score(y_true, result.predictions)
         result.reliability = report
+        if self.observer is not None:
+            self.observer.on_guarded_call(result, report)
         return result
 
     def _run_rung(

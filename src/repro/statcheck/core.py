@@ -135,7 +135,13 @@ def register(cls):
 def all_rules() -> Dict[str, Rule]:
     """The registered rules, importing the bundled rule modules on demand."""
     # Import for side effect: each module registers its rules at import.
-    from repro.statcheck.rules import api, determinism, kernels, numeric  # noqa: F401
+    from repro.statcheck.rules import (  # noqa: F401
+        api,
+        determinism,
+        kernels,
+        numeric,
+        obs,
+    )
 
     return dict(_REGISTRY)
 

@@ -1,0 +1,61 @@
+"""OBS rules — every experiment leaves a machine-readable receipt.
+
+The observability layer (:mod:`repro.obs`) can only diff runs that wrote a
+manifest.  A table/figure module whose ``main()`` prints a table and
+returns is invisible to ``python -m repro.obs diff`` — its numbers exist
+only in scrollback.  OBS001 closes that gap statically: any experiment
+entry point must route its rows through
+:func:`repro.experiments.common.emit_manifest`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutils import call_name, last_segment
+from repro.statcheck.core import FileContext, Rule, Violation, register
+
+EXPERIMENTS_PREFIX = ("repro/experiments/",)
+
+#: Harness plumbing, not experiment entry points: common.py *implements*
+#: emit_manifest, cli.py/report.py orchestrate modules that already emit.
+EXEMPT = (
+    "repro/experiments/common.py",
+    "repro/experiments/cli.py",
+    "repro/experiments/report.py",
+    "repro/experiments/__init__.py",
+)
+
+
+@register
+class RunManifestRule(Rule):
+    id = "OBS001"
+    summary = (
+        "experiment entry points (modules with a main()) must write a run "
+        "manifest via experiments.common.emit_manifest"
+    )
+    path_prefixes = EXPERIMENTS_PREFIX
+    exempt_modules = EXEMPT
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        mains = [
+            n
+            for n in ctx.tree.body
+            if isinstance(n, ast.FunctionDef) and n.name == "main"
+        ]
+        if not mains:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, ctx.aliases)
+            if name and last_segment(name) == "emit_manifest":
+                return
+        yield ctx.violation(
+            mains[0],
+            self.id,
+            "main() never calls experiments.common.emit_manifest; every "
+            "experiment entry point must leave a JSONL run manifest so "
+            "`python -m repro.obs diff` can compare runs",
+        )

@@ -1,0 +1,13 @@
+"""BAD: main() prints its rows but never emits a run manifest."""
+
+from repro.experiments.common import get_dataset, get_scale
+
+
+def run(scale="default"):
+    scale = get_scale(scale)
+    ds = get_dataset("susy", scale)
+    return [{"rows": int(ds.X_test.shape[0])}]
+
+
+def main(scale="default"):  # OBS001: no emit_manifest anywhere in the module
+    return run(scale)

@@ -1,0 +1,15 @@
+"""GOOD: the experiment entry point writes a run manifest."""
+
+from repro.experiments.common import emit_manifest, get_dataset, get_scale
+
+
+def run(scale="default"):
+    scale = get_scale(scale)
+    ds = get_dataset("susy", scale)
+    return [{"rows": int(ds.X_test.shape[0])}]
+
+
+def main(scale="default"):
+    rows = run(scale)
+    emit_manifest("obs_demo", scale, rows)
+    return rows

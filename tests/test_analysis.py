@@ -40,6 +40,30 @@ class TestProfiler:
         assert "branch efficiency" in out
         assert "Per-site global loads" in out
 
+    def test_site_table_zero_transactions_shows_dash(self):
+        # Regression: the share column used to divide by max(1, total) and
+        # print a misleading percentage when no transaction was issued.
+        from types import SimpleNamespace
+
+        site = {
+            "requests": 0,
+            "transactions": 0,
+            "cold_transactions": 0,
+            "footprint_bytes": 0,
+            "issue_cost": 1,
+            "l1_resident": True,
+            "l1_hit_rate": 1.0,
+        }
+        result = SimpleNamespace(
+            metrics=SimpleNamespace(global_load_transactions=0),
+            site_stats={"X": dict(site), "value": dict(site)},
+        )
+        out = site_table(result)
+        assert "%" not in out  # no fabricated shares
+        assert "-" in out
+        # Equal-transaction sites tie-break alphabetically.
+        assert out.index("X") < out.index("value")
+
     def test_site_shares_sum_to_one(self, run_pair):
         csr, _ = run_pair
         total = sum(s["transactions"] for s in csr.site_stats.values())

@@ -1,0 +1,135 @@
+"""Tests for run manifests, diffing, and the ``python -m repro.obs`` CLI."""
+
+import pytest
+
+from repro.obs import cli
+from repro.obs.manifest import (
+    build_manifest,
+    diff_manifests,
+    is_lower_better,
+    read_manifest,
+    render_manifest,
+    rows_to_counters,
+    write_manifest,
+)
+
+
+class TestRowsToCounters:
+    def test_numeric_aggregation(self):
+        rows = [
+            {"seconds": 1.0, "label": "csr", "ok": True},
+            {"seconds": 3.0, "label": "hybrid", "ok": False},
+        ]
+        c = rows_to_counters(rows)
+        assert c["rows.count"] == 2.0
+        assert c["rows.seconds.sum"] == 4.0
+        assert c["rows.seconds.min"] == 1.0
+        assert c["rows.seconds.max"] == 3.0
+        # Strings and booleans are skipped.
+        assert not any("label" in k or "ok" in k for k in c)
+
+    def test_empty_rows(self):
+        assert rows_to_counters([]) == {"rows.count": 0.0}
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        m = build_manifest(
+            "fig7", "smoke", {"rows.seconds.sum": 1.5},
+            extra_meta={"seed": 0},
+        )
+        path = write_manifest(str(tmp_path / "m.jsonl"), m)
+        back = read_manifest(path)
+        assert back.meta["experiment"] == "fig7"
+        assert back.meta["seed"] == 0
+        assert back.counters == {"rows.seconds.sum": 1.5}
+
+    def test_render_is_deterministic(self):
+        counters = {"b.seconds": 2.0, "a.seconds": 1.0}
+        m1 = build_manifest("x", "smoke", dict(counters))
+        m2 = build_manifest("x", "smoke", dict(reversed(list(
+            counters.items()))))
+        assert render_manifest(m1) == render_manifest(m2)
+
+    def test_missing_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"type":"counter","name":"x","value":1}\n')
+        with pytest.raises(ValueError):
+            read_manifest(str(p))
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"type":"run","schema":99,"experiment":"x"}\n')
+        with pytest.raises(ValueError):
+            read_manifest(str(p))
+
+
+class TestDiff:
+    def test_lower_is_better_heuristic(self):
+        assert is_lower_better("gpu.timing.seconds{kernel=csr}")
+        assert is_lower_better("guard.retries")
+        assert not is_lower_better("gpu.kernel.branch_efficiency")
+
+    def test_regression_flagged(self):
+        a = build_manifest("x", "smoke", {"k.seconds": 1.0, "ratio": 0.5})
+        b = build_manifest("x", "smoke", {"k.seconds": 1.5, "ratio": 0.4})
+        diff = diff_manifests(a, b)
+        assert not diff.ok
+        assert [d.name for d in diff.regressions] == ["k.seconds"]
+        # Higher-is-better style counters never regress.
+        names = {d.name: d for d in diff.deltas}
+        assert not names["ratio"].regression
+
+    def test_improvement_is_ok(self):
+        a = build_manifest("x", "smoke", {"k.seconds": 2.0})
+        b = build_manifest("x", "smoke", {"k.seconds": 1.0})
+        assert diff_manifests(a, b).ok
+
+    def test_rel_tolerance(self):
+        a = build_manifest("x", "smoke", {"k.seconds": 100.0})
+        b = build_manifest("x", "smoke", {"k.seconds": 104.0})
+        assert not diff_manifests(a, b).ok
+        assert diff_manifests(a, b, rel_tolerance=0.05).ok
+
+    def test_missing_and_added(self):
+        a = build_manifest("x", "smoke", {"gone": 1.0})
+        b = build_manifest("x", "smoke", {"new": 1.0})
+        diff = diff_manifests(a, b)
+        assert diff.missing == ["gone"] and diff.added == ["new"]
+
+
+class TestCli:
+    def _write(self, path, counters):
+        write_manifest(str(path), build_manifest("x", "smoke", counters))
+        return str(path)
+
+    def test_summary(self, tmp_path, capsys):
+        p = self._write(tmp_path / "m.jsonl", {"a.seconds": 1.0, "b": 2.0})
+        assert cli.main(["summary", p]) == 0
+        out = capsys.readouterr().out
+        assert "a.seconds" in out and "run manifest" in out
+
+    def test_summary_limit(self, tmp_path, capsys):
+        p = self._write(
+            tmp_path / "m.jsonl", {f"c{i}.seconds": float(i) for i in range(5)}
+        )
+        assert cli.main(["summary", p, "--limit", "2"]) == 0
+        assert "... 3 more" in capsys.readouterr().out
+
+    def test_diff_ok_exit_zero(self, tmp_path, capsys):
+        a = self._write(tmp_path / "a.jsonl", {"k.seconds": 1.0})
+        b = self._write(tmp_path / "b.jsonl", {"k.seconds": 1.0})
+        assert cli.main(["diff", a, b]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_diff_regression_exit_one(self, tmp_path, capsys):
+        a = self._write(tmp_path / "a.jsonl", {"k.seconds": 1.0})
+        b = self._write(tmp_path / "b.jsonl", {"k.seconds": 2.0})
+        assert cli.main(["diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "FAIL: 1 counter regression" in out
+
+    def test_diff_tolerance_flag(self, tmp_path):
+        a = self._write(tmp_path / "a.jsonl", {"k.seconds": 100.0})
+        b = self._write(tmp_path / "b.jsonl", {"k.seconds": 101.0})
+        assert cli.main(["diff", a, b, "--rel-tolerance", "0.05"]) == 0

@@ -1,0 +1,120 @@
+"""Tests for the unified metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+)
+
+
+class TestNames:
+    def test_valid_dotted_names(self):
+        Counter("gpu.kernel.global_load_transactions")
+        Gauge("fpga.pipeline.stall_pct")
+
+    @pytest.mark.parametrize("bad", ["", "Gpu.kernel", "1abc", "a b", "a-b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Counter(bad)
+
+    def test_invalid_label_names_rejected(self):
+        c = Counter("a.b")
+        with pytest.raises(ValueError):
+            c.inc(1.0, **{"Bad-Label": "x"})
+
+    def test_format_labels(self):
+        assert format_labels(()) == ""
+        assert format_labels((("a", "1"), ("b", "x"))) == "{a=1,b=x}"
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        c = Counter("calls")
+        c.inc(2.0, kernel="csr")
+        c.inc(3.0, kernel="csr")
+        c.inc(1.0, kernel="hybrid")
+        assert c.value(kernel="csr") == 5.0
+        assert c.value(kernel="hybrid") == 1.0
+        assert c.value(kernel="missing") == 0.0
+
+    def test_decrease_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("calls").inc(-1.0)
+
+    def test_samples_sorted_by_label_set(self):
+        c = Counter("calls")
+        c.inc(1.0, kernel="z")
+        c.inc(1.0, kernel="a")
+        keys = [key for key, _ in c.samples()]
+        assert keys == sorted(keys)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("depth")
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value() == 1.0
+
+    def test_max_keeps_running_maximum(self):
+        g = Gauge("depth")
+        g.max(1.0)
+        g.max(4.0)
+        g.max(2.0)
+        assert g.value() == 4.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        h = Histogram("lat", buckets=(1e-3, 1e-2, 1e-1))
+        for v in (5e-4, 5e-3, 5e-3, 5e-2):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.value() == pytest.approx(5e-4 + 2 * 5e-3 + 5e-2)
+        # Cumulative bucket counts, Prometheus ``le`` style.
+        assert h.bucket_counts() == [1, 3, 4, 4]
+
+    def test_inf_bucket_always_appended(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.buckets[-1] == float("inf")
+        assert h.bucket_counts() == [0, 1]
+
+    def test_flat_items_expose_count_and_sum(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5, kernel="csr")
+        flat = dict(h.flat_items())
+        assert flat["lat_count{kernel=csr}"] == 1.0
+        assert flat["lat_sum{kernel=csr}"] == 0.5
+
+
+class TestRegistry:
+    def test_create_or_fetch_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a.b") is r.counter("a.b")
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a.b")
+        with pytest.raises(TypeError):
+            r.gauge("a.b")
+
+    def test_metrics_sorted_by_name(self):
+        r = MetricsRegistry()
+        r.counter("z.last")
+        r.gauge("a.first")
+        assert [m.name for m in r.metrics()] == ["a.first", "z.last"]
+
+    def test_as_flat_dict(self):
+        r = MetricsRegistry()
+        r.counter("calls").inc(2.0, kernel="csr")
+        r.gauge("ratio").set(0.5)
+        flat = r.as_flat_dict()
+        assert flat == {"calls{kernel=csr}": 2.0, "ratio": 0.5}
+
+    def test_get_missing_returns_none(self):
+        assert MetricsRegistry().get("nope") is None

@@ -1,0 +1,204 @@
+"""Observer-hook integration and the golden determinism guarantees.
+
+The golden tests pin the tentpole promise: a seeded smoke run exports a
+byte-identical Chrome trace, Prometheus page and run manifest on every
+invocation, and ``repro.obs diff`` catches an injected counter regression.
+"""
+
+import os
+
+import pytest
+
+from repro.fpgasim.replication import Replication
+from repro.kernels import FPGAHybridKernel, GPUCSRKernel
+from repro.layout.csr import CSRForest
+from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+from repro.obs.bridges import ObsSession, record_layout_footprint
+from repro.obs.export import prometheus_text, render_chrome_trace
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _cache(tmp_path_factory):
+    """Route forest cache + manifests into a temp dir for the smoke tours."""
+    old_cache = os.environ.get("REPRO_CACHE_DIR")
+    old_manifest = os.environ.get("REPRO_MANIFEST_DIR")
+    root = tmp_path_factory.mktemp("obscache")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    os.environ.pop("REPRO_MANIFEST_DIR", None)
+    from repro.experiments import common
+
+    common.clear_memo()
+    yield
+    common.clear_memo()
+    for key, val in (("REPRO_CACHE_DIR", old_cache),
+                     ("REPRO_MANIFEST_DIR", old_manifest)):
+        if val is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = val
+
+
+class TestObserverHooks:
+    def test_gpu_kernel_hook(self, small_trees, queries):
+        session = ObsSession()
+        layout = CSRForest.from_trees(small_trees)
+        result = GPUCSRKernel(observer=session).run(layout, queries)
+        reg = session.registry
+        assert reg.get("gpu.kernel.global_load_transactions").value(
+            kernel=GPUCSRKernel.name
+        ) == float(result.metrics.global_load_transactions)
+        assert reg.get("gpu.timing.seconds").value(
+            kernel=GPUCSRKernel.name
+        ) == pytest.approx(result.seconds)
+        assert reg.get("gpu.launch.seconds").count(kernel=GPUCSRKernel.name) == 1
+        # One span on the gpu track; the clock advanced to its end.
+        spans = [s for s in session.tracer.spans if s.track == "gpu"]
+        assert len(spans) == 1
+        assert spans[0].dur_s == pytest.approx(result.seconds)
+        assert session.clock.now() == pytest.approx(result.seconds)
+        # A counter-track sample rides along at the span start.
+        assert any(
+            c.track == "gpu counters" for c in session.tracer.counters
+        )
+
+    def test_consecutive_launches_serialize(self, small_trees, queries):
+        session = ObsSession()
+        layout = CSRForest.from_trees(small_trees)
+        kernel = GPUCSRKernel(observer=session)
+        r1 = kernel.run(layout, queries)
+        kernel.run(layout, queries)
+        spans = [s for s in session.tracer.spans if s.track == "gpu"]
+        assert spans[1].start_s == pytest.approx(r1.seconds)
+
+    def test_fpga_kernel_hook_draws_parallel_cu_lanes(
+        self, small_trees, queries
+    ):
+        session = ObsSession()
+        layout = HierarchicalForest.from_trees(small_trees, LayoutParams(5))
+        rep = Replication(n_slrs=2, cus_per_slr=2)
+        result = FPGAHybridKernel(observer=session).run(
+            layout, queries, rep
+        )
+        spans = session.tracer.spans
+        assert len(spans) == 4  # one lane per CU
+        assert len({s.start_s for s in spans}) == 1  # parallel start
+        assert session.clock.now() == pytest.approx(result.seconds)
+        assert session.registry.get("fpga.pipeline.seconds").value(
+            kernel=FPGAHybridKernel.name,
+            replication=rep.label,
+        ) == pytest.approx(result.pipeline.seconds)
+
+    def test_transfer_hook(self):
+        session = ObsSession()
+        session.on_transfer("query-roundtrip", 1e-3, nbytes=4096)
+        assert session.registry.get("transfer.bytes").value(
+            direction="query-roundtrip"
+        ) == 4096.0
+        assert session.registry.get("transfer.seconds").value(
+            direction="query-roundtrip"
+        ) == pytest.approx(1e-3)
+        assert session.tracer.spans[0].track == "pcie"
+
+    def test_layout_footprint_bridge(self, small_trees):
+        reg = MetricsRegistry()
+        record_layout_footprint(reg, CSRForest.from_trees(small_trees))
+        assert reg.get("layout.bytes").value(kind="csr") > 0
+        assert reg.get("layout.trees").value(kind="csr") == float(
+            len(small_trees)
+        )
+        # Unknown layout kinds (e.g. the FIL baseline) are skipped silently.
+        record_layout_footprint(reg, object())
+
+    def test_guarded_call_hook(self, trained_small):
+        from repro.core import HierarchicalForestClassifier
+        from repro.core.config import KernelVariant, RunConfig
+        from repro.reliability.guard import ResilientClassifier
+
+        clf, _, _, Xte, _ = trained_small
+        api = HierarchicalForestClassifier.from_forest(clf)
+        session = ObsSession()
+        guard = ResilientClassifier(api, seed=0, observer=session)
+        guard.classify(Xte[:64], RunConfig(variant=KernelVariant.HYBRID))
+        reg = session.registry
+        assert reg.get("guard.calls").value() == 1.0
+        assert reg.get("guard.attempts").value() >= 1.0
+        assert reg.get("guard.served_total") is not None
+        assert reg.get("guard.call.seconds").count() == 1
+
+
+class TestGolden:
+    """Byte-identical artifacts across repeated seeded runs."""
+
+    @pytest.fixture(scope="class")
+    def two_runs(self):
+        from repro.obs.cli import run_traced
+
+        return run_traced(seed=0), run_traced(seed=0)
+
+    def test_chrome_trace_byte_identical(self, two_runs):
+        a, b = two_runs
+        ta, tb = render_chrome_trace(a.tracer), render_chrome_trace(b.tracer)
+        assert ta == tb
+        assert len(a.tracer.spans) > 10  # the tour is non-trivial
+
+    def test_registry_byte_identical(self, two_runs):
+        a, b = two_runs
+        assert a.registry.as_flat_dict() == b.registry.as_flat_dict()
+        assert prometheus_text(a.registry) == prometheus_text(b.registry)
+
+    def test_tour_covers_every_subsystem(self, two_runs):
+        flat = two_runs[0].registry.as_flat_dict()
+        prefixes = {name.split(".", 1)[0] for name in flat}
+        assert {"gpu", "fpga", "layout", "transfer", "guard"} <= prefixes
+
+    def test_diff_flags_injected_regression(self, two_runs, tmp_path):
+        from repro.obs import cli
+        from repro.obs.export import registry_manifest_counters
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        a, b = two_runs
+        base = registry_manifest_counters(a.registry)
+        inflated = dict(registry_manifest_counters(b.registry))
+        victim = next(
+            n for n in inflated
+            if n.startswith("gpu.timing.seconds{")
+        )
+        inflated[victim] *= 1.5
+        pa = write_manifest(
+            str(tmp_path / "a.jsonl"),
+            build_manifest("trace", "smoke", base),
+        )
+        pb = write_manifest(
+            str(tmp_path / "b.jsonl"),
+            build_manifest("trace", "smoke", inflated),
+        )
+        assert cli.main(["diff", pa, pa]) == 0  # identical: clean
+        assert cli.main(["diff", pa, pb]) == 1  # inflated: regression
+
+    def test_trace_command_writes_all_artifacts(self, tmp_path, capsys):
+        from repro.obs import cli
+
+        out = tmp_path / "obs"
+        assert cli.main(["trace", "--out", str(out)]) == 0
+        for name in ("trace.json", "metrics.prom", "run_manifest.jsonl"):
+            assert (out / name).is_file()
+        assert "timeline:" in capsys.readouterr().out
+
+
+class TestExperimentManifests:
+    def test_emit_manifest_lands_in_manifest_dir(self, tmp_path, monkeypatch):
+        from repro.experiments.common import emit_manifest
+        from repro.obs.manifest import read_manifest
+
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        path = emit_manifest(
+            "demo", "smoke", [{"seconds": 1.0}, {"seconds": 2.0}],
+            extra_counters={"extra.metric": 7.0},
+        )
+        assert os.path.dirname(path) == str(tmp_path)
+        m = read_manifest(path)
+        assert m.meta["experiment"] == "demo"
+        assert m.counters["rows.count"] == 2.0
+        assert m.counters["rows.seconds.sum"] == 3.0
+        assert m.counters["extra.metric"] == 7.0

@@ -1,0 +1,120 @@
+"""Tests for the deterministic tracer and the timeline/metrics exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    render_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.utils.clock import SimulatedClock
+
+
+class TestTracer:
+    def test_spans_lay_out_end_to_end(self):
+        t = Tracer()
+        a = t.add_span("gpu", "k1", 2.0)
+        b = t.add_span("gpu", "k2", 3.0)
+        assert (a.start_s, a.end_s) == (0.0, 2.0)
+        assert (b.start_s, b.end_s) == (2.0, 5.0)
+        assert t.clock.now() == 5.0
+        assert t.end_s == 5.0
+
+    def test_explicit_start_does_not_advance(self):
+        clock = SimulatedClock()
+        t = Tracer(clock=clock)
+        t.add_span("fpga/cu0", "k", 4.0, start_s=1.0)
+        assert clock.now() == 0.0
+        assert t.end_s == 5.0
+
+    def test_advance_false_does_not_move_clock(self):
+        t = Tracer()
+        t.add_span("gpu", "k", 2.0, advance=False)
+        assert t.clock.now() == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().add_span("gpu", "k", -1.0)
+
+    def test_track_ids_in_first_use_order(self):
+        t = Tracer()
+        t.add_span("b", "x", 1.0)
+        t.instant("a", "ev")
+        t.sample("c", "ctr", {"v": 1.0})
+        assert t.tracks == {"b": 0, "a": 1, "c": 2}
+
+    def test_args_frozen_sorted(self):
+        t = Tracer()
+        s = t.add_span("gpu", "k", 1.0, args={"b": 2, "a": 1})
+        assert s.args == (("a", 1), ("b", 2))
+
+    def test_instant_defaults_to_clock_now(self):
+        t = Tracer()
+        t.add_span("gpu", "k", 1.5)
+        ev = t.instant("guard", "fallback")
+        assert ev.ts_s == 1.5
+
+    def test_empty_tracer_end(self):
+        assert Tracer().end_s == 0.0
+
+
+class TestChromeTrace:
+    def _tracer(self):
+        t = Tracer()
+        t.add_span("gpu", "kernel", 1e-3, cat="kernel", args={"n": 2})
+        t.instant("guard", "fallback")
+        t.sample("gpu counters", "txn", {"dram": 5.0})
+        return t
+
+    def test_event_structure(self):
+        events = chrome_trace_events(self._tracer())
+        phases = [e["ph"] for e in events]
+        # process_name + 3 thread_name metadata rows, then X / i / C.
+        assert phases.count("M") == 4
+        assert {"X", "i", "C"} <= set(phases)
+        x = next(e for e in events if e["ph"] == "X")
+        assert x["ts"] == 0.0 and x["dur"] == pytest.approx(1e3)
+        assert x["args"] == {"n": 2}
+
+    def test_thread_names_cover_all_tracks(self):
+        t = self._tracer()
+        events = chrome_trace_events(t)
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == set(t.tracks)
+
+    def test_render_is_valid_json_and_deterministic(self):
+        a = render_chrome_trace(self._tracer())
+        b = render_chrome_trace(self._tracer())
+        assert a == b
+        payload = json.loads(a)
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        r = MetricsRegistry()
+        r.counter("gpu.timing.seconds", "simulated seconds").inc(
+            2.0, kernel="csr"
+        )
+        r.gauge("fpga.pipeline.stall_pct").set(0.25)
+        r.histogram("gpu.launch.seconds", buckets=(1e-3, 1.0)).observe(0.5)
+        text = prometheus_text(r)
+        assert "# HELP gpu_timing_seconds simulated seconds" in text
+        assert "# TYPE gpu_timing_seconds counter" in text
+        assert 'gpu_timing_seconds{kernel="csr"} 2' in text
+        assert "fpga_pipeline_stall_pct 0.25" in text
+        assert 'gpu_launch_seconds_bucket{le="+Inf"} 1' in text
+        assert "gpu_launch_seconds_count 1" in text
+        assert "gpu_launch_seconds_sum 0.5" in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""

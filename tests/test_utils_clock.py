@@ -1,0 +1,65 @@
+"""Tests for the sanctioned timing seam (repro.utils.clock)."""
+
+import pytest
+
+from repro.utils.clock import Clock, MonotonicClock, SimulatedClock, Stopwatch
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(2.5).now() == 2.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1.0)
+
+    def test_advance_accumulates_and_returns_now(self):
+        clock = SimulatedClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now() == 2.0
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-0.1)
+
+    def test_time_only_moves_when_advanced(self):
+        clock = SimulatedClock()
+        assert clock.now() == clock.now() == 0.0
+
+
+class TestMonotonicClock:
+    def test_non_decreasing(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestStopwatch:
+    def test_elapsed_over_simulated_clock(self):
+        clock = SimulatedClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        assert watch.elapsed() == 3.0
+
+    def test_restart_returns_elapsed_and_resets_origin(self):
+        clock = SimulatedClock()
+        watch = Stopwatch(clock)
+        clock.advance(2.0)
+        assert watch.restart() == 2.0
+        assert watch.elapsed() == 0.0
+        clock.advance(1.0)
+        assert watch.elapsed() == 1.0
+
+    def test_default_clock_is_monotonic(self):
+        watch = Stopwatch()
+        assert isinstance(watch.clock, MonotonicClock)
+        assert watch.elapsed() >= 0.0
+
+    def test_base_clock_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Clock().now()
