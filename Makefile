@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint statcheck faults bench bench-smoke experiments report trace obs-diff clean-cache loc
+.PHONY: install test lint statcheck faults bench bench-smoke experiments report plan trace obs-diff clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -39,6 +39,12 @@ experiments:
 
 report:
 	python -m repro.experiments.report default EXPERIMENTS.md
+
+# Runtime planner (docs/architecture.md §9): autotune an ExecutionPlan per
+# (dataset, platform) and print the chosen-plan table; the decisions land
+# as JSON in results/plan_cache (CI uploads them as an artifact).
+plan:
+	PYTHONPATH=src python -m repro.runtime plan --scale smoke --out results/plan_cache
 
 # Observability (docs/architecture.md §8): trace a seeded smoke run into
 # results/obs (Chrome-trace timeline + Prometheus text + run manifest).

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Scenario: serving with ``variant="auto"`` — let the planner decide.
+
+The paper's core finding is that the best (variant, layout, replication)
+combination depends on the forest shape and the workload; picking it by
+hand means re-running the Fig. 7 / Fig. 9 sweeps for every deployment.
+This example shows the runtime layer doing that automatically: the
+:class:`~repro.runtime.Planner` scores every registered candidate with an
+analytic cost model, probes the finalists with short seeded runs, and
+caches the winning :class:`~repro.runtime.ExecutionPlan` as JSON so the
+next process start replays the decision without re-tuning.
+
+Run:  python examples/autotuned_serving.py
+"""
+
+import os
+import tempfile
+
+from repro import HierarchicalForestClassifier, RunConfig, load_dataset
+from repro.obs import ObsSession
+from repro.runtime import Planner, RuntimeSession
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # Keep this demo's plan cache out of the repo-level results/ dir.
+    cache_dir = os.path.join(tempfile.gettempdir(), "repro-autotune-demo")
+
+    print("Training a Susy-profile forest...")
+    ds = load_dataset("susy", rows=8_000)
+    clf = HierarchicalForestClassifier(n_estimators=12, max_depth=15, seed=0)
+    clf.fit(ds.X_train, ds.y_train)
+    X = ds.X_test
+
+    # ------------------------------------------------------------------
+    # 1. What the planner sees: the cost-ranked candidate table.
+    # ------------------------------------------------------------------
+    obs = ObsSession()
+    session = RuntimeSession.from_forest(clf.forest)
+    planner = Planner(session, cache_dir=cache_dir, observer=obs)
+    probe = planner._probe_sample(X)
+    memo = {}
+    scored = sorted(
+        ((planner.estimate(p, probe, X.shape[0], memo), p)
+         for p in planner.candidates("gpu")),
+        key=lambda item: (item[0], item[1].to_json()),
+    )
+    print(
+        format_table(
+            ["rank", "candidate", "modelled seconds"],
+            [
+                [i + 1, plan.label, f"{cost:.6f}"]
+                for i, (cost, plan) in enumerate(scored[:6])
+            ],
+            title="Cost model's top GPU candidates (of %d)" % len(scored),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. The one-liner a serving deployment actually writes.
+    # ------------------------------------------------------------------
+    os.environ["REPRO_PLAN_CACHE_DIR"] = cache_dir
+    baseline = clf.classify(X, RunConfig(variant="csr"))
+    auto = clf.classify(X, RunConfig(variant="auto"), y_true=ds.y_test)
+    print(f'variant="auto" resolved to: {auto.config.label}')
+    print(
+        f"  {auto.seconds * 1e3:.3f} simulated ms "
+        f"({auto.speedup_over(baseline):.2f}x over CSR), "
+        f"accuracy {auto.accuracy:.3f}"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. The decision is cached: a fresh planner replays it, no probes.
+    # ------------------------------------------------------------------
+    replay = Planner(session, cache_dir=cache_dir, observer=obs)
+    plan = replay.autotune(X)
+    print(
+        f"second process start: plan came from {plan.source!r} "
+        f"({replay.stats['probe_runs']} probes, "
+        f"{replay.stats['cost_evaluations']} cost evals)"
+    )
+    print(f"plan JSON: {plan.to_json()}")
+    decisions = sum(
+        v for _, v in obs.registry.counter("plan.chosen", "").samples()
+    )
+    print(f"\nplanner decisions recorded by the observer: {decisions:g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,13 @@ from repro.reliability import (
     ReliabilityReport,
     ResilientClassifier,
 )
+from repro.runtime import (
+    ExecutionPlan,
+    PlanError,
+    Planner,
+    RuntimeSession,
+    compile_plan,
+)
 
 __version__ = "1.0.0"
 
@@ -71,5 +78,10 @@ __all__ = [
     "FaultPlan",
     "ReliabilityReport",
     "ResilientClassifier",
+    "ExecutionPlan",
+    "PlanError",
+    "Planner",
+    "RuntimeSession",
+    "compile_plan",
     "__version__",
 ]

@@ -1,4 +1,4 @@
-"""The library's front door: train, lay out, classify, measure.
+"""The library's front door: train, plan, classify, measure.
 
 Typical use (see ``examples/quickstart.py``)::
 
@@ -7,10 +7,18 @@ Typical use (see ``examples/quickstart.py``)::
     clf = HierarchicalForestClassifier(n_estimators=50, max_depth=20)
     clf.fit(X_train, y_train)
     result = clf.classify(
-        X_test, RunConfig(platform="gpu", variant="hybrid"),
+        X_test, RunConfig(platform="gpu", variant="auto"),
         y_true=y_test,
     )
     print(result.seconds, result.accuracy)
+
+Since the runtime refactor this class is a thin wrapper over
+:mod:`repro.runtime`: every ``classify()`` call compiles the config into
+an :class:`~repro.runtime.ExecutionPlan` (or, for ``variant="auto"``,
+lets the :class:`~repro.runtime.Planner` autotune one) and executes it
+through a :class:`~repro.runtime.RuntimeSession`.  The legacy signature
+and behaviour are unchanged: explicit configs reproduce the pre-runtime
+wiring byte-for-byte (same layouts, same kernels, same seconds).
 
 Layouts are built lazily per :class:`LayoutParams` and cached, so sweeping
 kernels over one forest re-uses the conversion work.  Every simulated run's
@@ -25,41 +33,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.cpu_reference import reference_predict
-from repro.baselines.cuml_fil import CuMLFILKernel, FILForest
-from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.core.config import KernelVariant, RunConfig
 from repro.core.results import RunResult
 from repro.forest.metrics import accuracy_score
 from repro.forest.random_forest import RandomForestClassifier
 from repro.forest.tree import DecisionTree
 from repro.fpgasim.device import ALVEO_U250, FPGASpec
 from repro.gpusim.device import GPUSpec, TITAN_XP
-from repro.kernels import (
-    FPGACSRKernel,
-    FPGACollaborativeKernel,
-    FPGAHybridKernel,
-    FPGAIndependentKernel,
-    GPUCSRKernel,
-    GPUCollaborativeKernel,
-    GPUHybridKernel,
-    GPUIndependentKernel,
-)
-from repro.layout.csr import CSRForest
-from repro.layout.hierarchical import HierarchicalForest, LayoutParams
+from repro.runtime.planner import Planner, compile_plan
+from repro.runtime.session import RuntimeSession
 from repro.utils.validation import check_array_2d, check_positive_int, check_same_length
-
-_GPU_KERNELS = {
-    KernelVariant.CSR: GPUCSRKernel,
-    KernelVariant.INDEPENDENT: GPUIndependentKernel,
-    KernelVariant.COLLABORATIVE: GPUCollaborativeKernel,
-    KernelVariant.HYBRID: GPUHybridKernel,
-    KernelVariant.CUML: CuMLFILKernel,
-}
-_FPGA_KERNELS = {
-    KernelVariant.CSR: FPGACSRKernel,
-    KernelVariant.INDEPENDENT: FPGAIndependentKernel,
-    KernelVariant.COLLABORATIVE: FPGACollaborativeKernel,
-    KernelVariant.HYBRID: FPGAHybridKernel,
-}
 
 
 class HierarchicalForestClassifier:
@@ -89,6 +72,9 @@ class HierarchicalForestClassifier:
         self.fpga = fpga
         self.verify_against_reference = verify_against_reference
         self._layout_cache: Dict[Tuple, object] = {}
+        self._session: Optional[RuntimeSession] = None
+        self._session_trees: Optional[list] = None
+        self._planner: Optional[Planner] = None
 
     # ------------------------------------------------------------------
     # Construction / training
@@ -97,6 +83,8 @@ class HierarchicalForestClassifier:
         """Train the underlying forest; invalidates cached layouts."""
         self.forest.fit(X, y)
         self._layout_cache.clear()
+        self._session = None
+        self._planner = None
         return self
 
     @classmethod
@@ -124,26 +112,43 @@ class HierarchicalForestClassifier:
         return self.forest.trees_
 
     # ------------------------------------------------------------------
+    # Runtime seam
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self) -> RuntimeSession:
+        """The session executing this classifier's plans (rebuilt on refit).
+
+        The session shares this classifier's ``_layout_cache`` dict, so
+        layouts keep their historical cache keys and external code that
+        seeds or inspects the cache keeps working.
+        """
+        trees = self.trees
+        if self._session is None or self._session_trees is not trees:
+            self._session = RuntimeSession(
+                trees,
+                gpu=self.gpu,
+                fpga=self.fpga,
+                verify_against_reference=self.verify_against_reference,
+                layout_cache=self._layout_cache,
+            )
+            self._session_trees = trees
+            self._planner = None
+        return self._session
+
+    @property
+    def planner(self) -> Planner:
+        """The autotuner serving this classifier's ``variant="auto"`` runs."""
+        session = self.runtime
+        if self._planner is None:
+            self._planner = Planner(session)
+        return self._planner
+
+    # ------------------------------------------------------------------
     # Layouts
     # ------------------------------------------------------------------
     def layout_for(self, config: RunConfig):
         """Build (or fetch from cache) the layout ``config`` needs."""
-        if config.variant is KernelVariant.CSR:
-            key = ("csr",)
-        elif config.variant is KernelVariant.CUML:
-            key = ("fil",)
-        else:
-            key = ("hier", config.layout.sd, config.layout.rsd)
-        if key not in self._layout_cache:
-            if key[0] == "csr":
-                self._layout_cache[key] = CSRForest.from_trees(self.trees)
-            elif key[0] == "fil":
-                self._layout_cache[key] = FILForest.from_trees(self.trees)
-            else:
-                self._layout_cache[key] = HierarchicalForest.from_trees(
-                    self.trees, config.layout
-                )
-        return self._layout_cache[key]
+        return self.runtime.layout_for(compile_plan(self.forest, config))
 
     def invalidate_layouts(self) -> None:
         """Drop every cached layout so the next run rebuilds from the trees.
@@ -157,6 +162,13 @@ class HierarchicalForestClassifier:
     # ------------------------------------------------------------------
     # Classification
     # ------------------------------------------------------------------
+    def _resolve(self, X: np.ndarray, config: RunConfig):
+        """(plan, result config) for one call; autotunes ``auto`` variants."""
+        plan = self.planner.plan(X, config)
+        if config.variant is KernelVariant.AUTO:
+            config = plan.to_run_config()
+        return plan, config
+
     def classify(
         self,
         X: np.ndarray,
@@ -172,6 +184,11 @@ class HierarchicalForestClassifier:
         ``verify_against_reference=False`` (useful only for very large
         sweeps where the reference pass dominates).
 
+        ``config.variant="auto"`` routes through the
+        :class:`~repro.runtime.Planner`: the returned result carries the
+        resolved config, and the chosen plan is cached under the plan
+        cache for identical (forest, workload) pairs.
+
         ``include_transfer=True`` adds host-to-device transfer time (query
         round trip; the one-time layout upload goes into ``details``) — the
         paper reports kernel time only, so the default matches the paper.
@@ -186,53 +203,17 @@ class HierarchicalForestClassifier:
         it, and with ``include_transfer=True`` the query round trip is
         reported via ``on_transfer``.
         """
-        layout = self.layout_for(config)
-        kernel_kwargs = {
-            "launch_gate": launch_gate,
-            "verify_layout": config.verify_integrity,
-            "observer": observer,
-        }
-        if config.platform is Platform.GPU:
-            kernel = _GPU_KERNELS[config.variant](spec=self.gpu, **kernel_kwargs)
-            out = kernel.run(layout, X)
-            details = out.summary()
-        else:
-            kernel = _FPGA_KERNELS[config.variant](spec=self.fpga, **kernel_kwargs)
-            out = kernel.run(layout, X, replication=config.replication)
-            details = out.summary()
-        if self.verify_against_reference:
-            ref = reference_predict(self.trees, X)
-            if not np.array_equal(out.predictions, ref):
-                raise RuntimeError(
-                    f"simulated kernel {config.label} disagrees with the "
-                    "CPU reference — layout or kernel bug"
-                )
-        seconds = out.seconds
-        if include_transfer:
-            from repro.core.transfer import TransferModel
-
-            tm = TransferModel()
-            roundtrip = tm.query_roundtrip_seconds(X.shape[0], X.shape[1])
-            details["transfer_query_roundtrip_s"] = roundtrip
-            details["transfer_layout_upload_s"] = tm.upload_layout_seconds(
-                layout
-            )
-            seconds = seconds + roundtrip
-            if observer is not None and hasattr(observer, "on_transfer"):
-                observer.on_transfer(
-                    "query-roundtrip",
-                    roundtrip,
-                    nbytes=X.shape[0] * X.shape[1] * 4,
-                )
-        accuracy = None
-        if y_true is not None:
-            accuracy = accuracy_score(y_true, out.predictions)
-        return RunResult(
+        plan, config = self._resolve(X, config)
+        session = self.runtime
+        session.verify_against_reference = self.verify_against_reference
+        return session.run(
+            plan,
+            X,
+            y_true=y_true,
+            include_transfer=include_transfer,
+            launch_gate=launch_gate,
+            observer=observer,
             config=config,
-            predictions=out.predictions,
-            seconds=seconds,
-            details=details,
-            accuracy=accuracy,
         )
 
     def classify_batched(
@@ -248,7 +229,8 @@ class HierarchicalForestClassifier:
         Each batch is one simulated kernel launch; the result aggregates
         per-batch latencies (total, mean, max — the numbers a deployment's
         latency budget is written against).  Predictions are identical to a
-        single :meth:`classify` call.
+        single :meth:`classify` call.  ``variant="auto"`` is resolved once
+        for the whole matrix, not re-tuned per batch.
         """
         from repro.core.results import BatchedRunResult
 
@@ -257,6 +239,7 @@ class HierarchicalForestClassifier:
         if y_true is not None:
             y_true = np.asarray(y_true)
             check_same_length(X, y_true, names=("X", "y_true"))
+        _, config = self._resolve(X, config)
         preds = np.empty(X.shape[0], dtype=np.int64)
         batch_seconds = []
         for lo in range(0, X.shape[0], batch_size):

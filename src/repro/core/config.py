@@ -26,6 +26,8 @@ class KernelVariant(str, enum.Enum):
     HYBRID = "hybrid"
     #: cuML-FIL-style baseline (GPU only).
     CUML = "cuml"
+    #: Let the runtime planner pick variant + layout (see ``repro.runtime``).
+    AUTO = "auto"
 
     @classmethod
     def paper_variants(cls):
@@ -69,6 +71,8 @@ class RunConfig:
     @property
     def label(self) -> str:
         """Short human-readable description."""
+        if self.variant is KernelVariant.AUTO:
+            return f"{self.platform.value}-auto"
         parts = [self.platform.value, self.variant.value]
         if self.variant not in (KernelVariant.CSR, KernelVariant.CUML):
             parts.append(f"SD{self.layout.sd}")

@@ -7,6 +7,11 @@
   pure NumPy dominates wall-clock, so benches and experiments share trained
   forests through ``.cache/forests/`` under the repository root, overridable
   via ``REPRO_CACHE_DIR``).
+* :func:`get_session` / :func:`execute` — the runtime seam: every
+  experiment driver runs its configurations through a shared
+  :class:`~repro.runtime.RuntimeSession` per forest (plan compilation,
+  layout reuse, observability wiring in one place; statcheck rule API003
+  keeps kernel classes out of experiment modules).
 """
 
 from __future__ import annotations
@@ -18,9 +23,13 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.core.config import KernelVariant, RunConfig
+from repro.core.results import RunResult
 from repro.datasets.profiles import Dataset, PROFILES, load_dataset
 from repro.forest.io import ForestIntegrityError, load_forest, save_forest
 from repro.forest.random_forest import RandomForestClassifier
+from repro.runtime.planner import Planner, compile_plan
+from repro.runtime.session import RuntimeSession
 
 
 @dataclass(frozen=True)
@@ -97,6 +106,10 @@ def band_depths(dataset: str, scale: Scale) -> Tuple[int, ...]:
 # ----------------------------------------------------------------------
 _DATASETS: Dict[Tuple, Dataset] = {}
 _FORESTS: Dict[Tuple, RandomForestClassifier] = {}
+# id(forest) -> (forest, session, planner).  The forest is kept in the
+# value so a recycled id() of a garbage-collected forest can't alias a
+# stale session (checked with ``is`` on lookup).
+_SESSIONS: Dict[int, Tuple[RandomForestClassifier, RuntimeSession, Planner]] = {}
 
 
 def _cache_root() -> str:
@@ -178,6 +191,63 @@ def clear_memo() -> None:
     """Drop in-memory caches (tests use this to bound memory)."""
     _DATASETS.clear()
     _FORESTS.clear()
+    _SESSIONS.clear()
+
+
+# ----------------------------------------------------------------------
+# Runtime seam
+# ----------------------------------------------------------------------
+def get_session(forest: RandomForestClassifier) -> RuntimeSession:
+    """Memoised :class:`RuntimeSession` for one trained forest.
+
+    Experiments sweep many configurations over the same forest; sharing the
+    session shares its layout cache, so e.g. the CSR baseline layout is
+    built once per (dataset, depth) rather than once per variant row.
+    """
+    entry = _SESSIONS.get(id(forest))
+    if entry is None or entry[0] is not forest:
+        session = RuntimeSession.from_forest(forest)
+        entry = (forest, session, Planner(session))
+        _SESSIONS[id(forest)] = entry
+    return entry[1]
+
+
+def get_planner(forest: RandomForestClassifier) -> Planner:
+    """The autotuner bound to :func:`get_session`'s session for ``forest``."""
+    get_session(forest)
+    return _SESSIONS[id(forest)][2]
+
+
+def execute(
+    forest: RandomForestClassifier,
+    X: np.ndarray,
+    config: RunConfig = RunConfig(),
+    y_true: Optional[np.ndarray] = None,
+    include_transfer: bool = False,
+    observer=None,
+) -> RunResult:
+    """Run one experiment configuration through the runtime seam.
+
+    This is the single path from experiment drivers to kernels: the config
+    is compiled into an :class:`~repro.runtime.ExecutionPlan` (autotuned by
+    the shared :class:`~repro.runtime.Planner` for ``variant="auto"``) and
+    executed by the forest's memoised session.  Statcheck rule API003
+    rejects experiment modules that import kernel classes directly.
+    """
+    session = get_session(forest)
+    if config.variant is KernelVariant.AUTO:
+        plan = get_planner(forest).plan(X, config)
+        config = plan.to_run_config()
+    else:
+        plan = compile_plan(forest, config)
+    return session.run(
+        plan,
+        X,
+        y_true=y_true,
+        include_transfer=include_transfer,
+        observer=observer,
+        config=config,
+    )
 
 
 def save_rows(rows, path: str) -> None:

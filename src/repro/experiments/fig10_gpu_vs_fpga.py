@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.experiments.common import (
     band_depths,
     emit_manifest,
+    execute,
     get_dataset,
     get_forest,
     get_scale,
@@ -33,16 +33,19 @@ def run(scale="default", dataset: str = "susy") -> List[Dict]:
     X = queries_for(ds, scale)
     depth = band_depths(dataset, scale)[0]
     forest = get_forest(dataset, depth, scale.n_trees, scale)
-    clf = HierarchicalForestClassifier.from_forest(forest)
     rows: List[Dict] = []
     for sd in scale.subtree_depths:
         layout = LayoutParams(sd)
         for variant in (KernelVariant.INDEPENDENT, KernelVariant.HYBRID):
-            gpu = clf.classify(
-                X, RunConfig(platform=Platform.GPU, variant=variant, layout=layout)
+            gpu = execute(
+                forest,
+                X,
+                RunConfig(platform=Platform.GPU, variant=variant, layout=layout),
             )
-            fpga = clf.classify(
-                X, RunConfig(platform=Platform.FPGA, variant=variant, layout=layout)
+            fpga = execute(
+                forest,
+                X,
+                RunConfig(platform=Platform.FPGA, variant=variant, layout=layout),
             )
             rows.append(
                 {

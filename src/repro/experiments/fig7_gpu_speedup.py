@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.classifier import HierarchicalForestClassifier
-from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.core.config import KernelVariant, RunConfig
 from repro.experiments.common import (
     band_depths,
     emit_manifest,
+    execute,
     get_dataset,
     get_forest,
     get_scale,
@@ -36,9 +36,8 @@ def run(scale="default", datasets=DATASETS) -> List[Dict]:
         X = queries_for(ds, scale)
         for depth in band_depths(name, scale):
             forest = get_forest(name, depth, scale.n_trees, scale)
-            clf = HierarchicalForestClassifier.from_forest(forest)
-            base = clf.classify(X, RunConfig(variant=KernelVariant.CSR))
-            cuml = clf.classify(X, RunConfig(variant=KernelVariant.CUML))
+            base = execute(forest, X, RunConfig(variant=KernelVariant.CSR))
+            cuml = execute(forest, X, RunConfig(variant=KernelVariant.CUML))
             rows.append(
                 {
                     "dataset": name,
@@ -55,7 +54,8 @@ def run(scale="default", datasets=DATASETS) -> List[Dict]:
                     KernelVariant.INDEPENDENT,
                     KernelVariant.HYBRID,
                 ):
-                    res = clf.classify(
+                    res = execute(
+                        forest,
                         X,
                         RunConfig(variant=variant, layout=LayoutParams(sd)),
                     )

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, RunConfig
 from repro.experiments.common import (
     band_depths,
     emit_manifest,
+    execute,
     get_dataset,
     get_forest,
     get_scale,
@@ -33,15 +33,14 @@ def run(scale="default", dataset: str = "susy") -> List[Dict]:
     X = queries_for(ds, scale)
     depth = band_depths(dataset, scale)[0]
     forest = get_forest(dataset, depth, scale.n_trees, scale)
-    clf = HierarchicalForestClassifier.from_forest(forest)
     rows: List[Dict] = []
     for sd in scale.subtree_depths:
         layout = LayoutParams(sd)
-        ind = clf.classify(
-            X, RunConfig(variant=KernelVariant.INDEPENDENT, layout=layout)
+        ind = execute(
+            forest, X, RunConfig(variant=KernelVariant.INDEPENDENT, layout=layout)
         )
-        hyb = clf.classify(
-            X, RunConfig(variant=KernelVariant.HYBRID, layout=layout)
+        hyb = execute(
+            forest, X, RunConfig(variant=KernelVariant.HYBRID, layout=layout)
         )
         rows.append(
             {

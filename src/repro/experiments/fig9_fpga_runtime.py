@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.experiments.common import (
     band_depths,
     emit_manifest,
+    execute,
     get_dataset,
     get_forest,
     get_scale,
@@ -37,14 +37,14 @@ def run(scale="default", datasets=DATASETS) -> List[Dict]:
         X = queries_for(ds, scale)
         for depth in band_depths(name, scale):
             forest = get_forest(name, depth, scale.n_trees, scale)
-            clf = HierarchicalForestClassifier.from_forest(forest)
             for sd in scale.subtree_depths:
                 layout = LayoutParams(sd)
                 for variant in (
                     KernelVariant.INDEPENDENT,
                     KernelVariant.HYBRID,
                 ):
-                    res = clf.classify(
+                    res = execute(
+                        forest,
                         X,
                         RunConfig(
                             platform=Platform.FPGA,

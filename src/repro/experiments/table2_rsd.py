@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.experiments.common import (
     band_depths,
     emit_manifest,
+    execute,
     get_dataset,
     get_forest,
     get_scale,
@@ -40,15 +40,17 @@ def run(scale="default", datasets=DATASETS) -> List[Dict]:
         X = queries_for(ds, scale)
         for depth in band_depths(name, scale):
             forest = get_forest(name, depth, scale.n_trees, scale)
-            clf = HierarchicalForestClassifier.from_forest(forest)
-            base = clf.classify(X, RunConfig(variant=KernelVariant.CSR))
+            base = execute(forest, X, RunConfig(variant=KernelVariant.CSR))
             row: Dict = {"dataset": name, "depth": depth}
             for rsd in RSD_VALUES:
                 layout = LayoutParams(SD, rsd)
-                g = clf.classify(
-                    X, RunConfig(variant=KernelVariant.HYBRID, layout=layout)
+                g = execute(
+                    forest,
+                    X,
+                    RunConfig(variant=KernelVariant.HYBRID, layout=layout),
                 )
-                f = clf.classify(
+                f = execute(
+                    forest,
                     X,
                     RunConfig(
                         platform=Platform.FPGA,

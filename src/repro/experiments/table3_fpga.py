@@ -14,10 +14,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.classifier import HierarchicalForestClassifier
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.datasets.profiles import make_synthetic_forest
-from repro.experiments.common import emit_manifest, get_scale
+from repro.experiments.common import emit_manifest, execute, get_scale
 from repro.fpgasim.replication import Replication
 from repro.layout.hierarchical import LayoutParams
 from repro.utils.tables import format_table
@@ -49,11 +48,11 @@ def run(scale="default", seed: int = 5) -> List[Dict]:
         leaf_prob=0.05,
         seed=seed,
     )
-    clf = HierarchicalForestClassifier.from_forest(forest)
     layout = LayoutParams(PAPER_SD)
 
     def fpga(variant, replication=Replication()):
-        return clf.classify(
+        return execute(
+            forest,
             X,
             RunConfig(
                 platform=Platform.FPGA,

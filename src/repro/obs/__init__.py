@@ -15,6 +15,7 @@ from repro.obs.bridges import (
     record_kernel_timing,
     record_layout_footprint,
     record_pipeline,
+    record_plan,
     record_reliability,
 )
 from repro.obs.export import (
@@ -46,6 +47,7 @@ __all__ = [
     "record_kernel_timing",
     "record_layout_footprint",
     "record_pipeline",
+    "record_plan",
     "record_reliability",
     "chrome_trace_events",
     "prometheus_text",

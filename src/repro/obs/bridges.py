@@ -132,6 +132,32 @@ def record_layout_footprint(registry: MetricsRegistry, layout,
 
 
 # ----------------------------------------------------------------------
+# Runtime planner
+# ----------------------------------------------------------------------
+def record_plan(registry: MetricsRegistry, plan, **labels) -> None:
+    """Ingest a chosen :class:`~repro.runtime.ExecutionPlan` as ``plan.*``.
+
+    One counter per (platform, variant, source) tells you how often the
+    autotuner picked each configuration and whether it came from the cost
+    model, a probe refinement or the on-disk plan cache; the cost gauge
+    keeps the model's estimate next to the measured kernel seconds.
+    """
+    registry.counter(
+        "plan.chosen", "plans executed per configuration"
+    ).inc(
+        1.0,
+        platform=plan.platform,
+        variant=plan.variant,
+        source=plan.source,
+        **labels,
+    )
+    if plan.cost_estimate_s is not None:
+        registry.gauge(
+            "plan.cost_estimate_s", "analytic cost model estimate, seconds"
+        ).set(plan.cost_estimate_s, plan=plan.label, **labels)
+
+
+# ----------------------------------------------------------------------
 # Serving guard
 # ----------------------------------------------------------------------
 def record_reliability(registry: MetricsRegistry, report,
@@ -185,6 +211,7 @@ class ObsSession:
     * ``on_fpga_kernel(kernel, result, replication)``
     * ``on_transfer(direction, seconds, nbytes)``
     * ``on_guarded_call(result, report)``
+    * ``on_plan(plan)`` (the :class:`~repro.runtime.Planner`'s decisions)
 
     Consecutive kernel launches lay out end-to-end on the simulated
     timeline (the device stream is serial); FPGA CU lanes run in parallel
@@ -265,6 +292,20 @@ class ObsSession:
         ).inc(seconds, direction=direction)
         self.tracer.add_span("pcie", direction, seconds, cat="transfer",
                              args=args)
+
+    # -- planner --------------------------------------------------------
+    def on_plan(self, plan) -> None:
+        record_plan(self.registry, plan)
+        self.tracer.instant(
+            "planner",
+            f"plan {plan.label} ({plan.source})",
+            args={
+                "platform": plan.platform,
+                "variant": plan.variant,
+                "source": plan.source,
+                "cost_estimate_s": plan.cost_estimate_s,
+            },
+        )
 
     # -- guard ----------------------------------------------------------
     def on_guarded_call(self, result, report) -> None:

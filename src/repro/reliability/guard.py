@@ -43,6 +43,9 @@ from repro.reliability.integrity import (
     attach_integrity,
     degraded_predict,
 )
+from repro.runtime.backends import CPUBackend
+from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan
+from repro.runtime.planner import compile_plan
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_array_2d, check_positive_int, check_same_length
 
@@ -228,13 +231,14 @@ class ReliabilityReport:
 # ----------------------------------------------------------------------
 #: Crude host-traversal cost used for the CPU rung and degraded voting —
 #: simulated seconds per (query, tree-level) step, keeping every rung's
-#: ``seconds`` deterministic and comparable.
-CPU_SECONDS_PER_NODE = 5e-9
+#: ``seconds`` deterministic and comparable.  The constant lives on
+#: :class:`repro.runtime.backends.CPUBackend` (the ladder's bottom rung
+#: executes through it); this alias preserves the historical import path.
+CPU_SECONDS_PER_NODE = CPUBackend.SECONDS_PER_NODE
 
 
 def _cpu_seconds(n_queries: int, trees) -> float:
-    levels = sum(int(t.depth.max()) + 1 for t in trees)
-    return n_queries * levels * CPU_SECONDS_PER_NODE
+    return CPUBackend.seconds_for(n_queries, trees)
 
 
 class ResilientClassifier:
@@ -259,7 +263,8 @@ class ResilientClassifier:
         Enable the two checksum re-verification points.
     """
 
-    #: Ladder order per requested platform; "cpu" is always the last rung.
+    #: Accelerator rung order per requested platform; the ladder-plan list
+    #: built by :meth:`ladder_plans` always appends the CPU rung last.
     _LADDERS = {
         Platform.GPU: (Platform.GPU, Platform.FPGA),
         Platform.FPGA: (Platform.FPGA, Platform.GPU),
@@ -310,6 +315,30 @@ class ResilientClassifier:
             verify_integrity=self.verify_before_launch,
         )
 
+    def ladder_plans(self, config: RunConfig) -> List[ExecutionPlan]:
+        """The fallback ladder as an ordered :class:`ExecutionPlan` list.
+
+        Requested accelerator first, then the other accelerator, then the
+        CPU rung (which always answers).  Each accelerator plan carries the
+        rung's adapted config (variant swap for GPU-only kernels, pre-launch
+        integrity verification); the plan's list index is the call's
+        ``fallback_depth`` when that rung serves it.
+        """
+        plans = [
+            compile_plan(None, self._rung_config(config, platform))
+            for platform in self._LADDERS[config.platform]
+        ]
+        plans.append(
+            ExecutionPlan(
+                platform=CPU_PLATFORM,
+                variant=config.variant.value,
+                layout=config.layout,
+                replication=config.replication,
+                source="ladder",
+            )
+        )
+        return plans
+
     def notify_layout_rebuild(self) -> None:
         """Forget which layouts passed post-transfer verification.
 
@@ -328,14 +357,17 @@ class ResilientClassifier:
         return layout
 
     def _attempt(
-        self, X: np.ndarray, config: RunConfig, report: ReliabilityReport
+        self, X: np.ndarray, plan: ExecutionPlan, report: ReliabilityReport
     ) -> RunResult:
-        """One guarded kernel launch on one rung."""
+        """One guarded kernel launch on one rung's plan."""
+        config = plan.to_run_config()
         if self.verify_after_transfer:
             self._verify_transfer(config, report)
         gate = self.fault_plan.launch_gate if self.fault_plan else None
-        res = self.inner.classify(
-            X, config, launch_gate=gate, observer=self.observer
+        session = self.inner.runtime
+        session.verify_against_reference = self.inner.verify_against_reference
+        res = session.run(
+            plan, X, launch_gate=gate, observer=self.observer, config=config
         )
         if self.deadline_s is not None and res.seconds > self.deadline_s:
             raise DeadlineExceededError(
@@ -345,9 +377,10 @@ class ResilientClassifier:
         return res
 
     def _degraded(
-        self, X: np.ndarray, config: RunConfig, report: ReliabilityReport
+        self, X: np.ndarray, plan: ExecutionPlan, report: ReliabilityReport
     ) -> Optional[RunResult]:
         """Quorum voting over the rung's intact trees; None if quorum lost."""
+        config = plan.to_run_config()
         layout = self.inner.layout_for(config)
         integ = attach_integrity(layout)
         alive = integ.surviving_trees(layout)
@@ -374,15 +407,11 @@ class ResilientClassifier:
             },
         )
 
-    def _cpu_rung(self, X: np.ndarray, config: RunConfig) -> RunResult:
+    def _cpu_rung(
+        self, X: np.ndarray, plan: ExecutionPlan, config: RunConfig
+    ) -> RunResult:
         """Bottom of the ladder: authoritative host trees, always answers."""
-        preds = self.inner.predict(X)
-        return RunResult(
-            config=config,
-            predictions=preds,
-            seconds=_cpu_seconds(X.shape[0], self.inner.trees),
-            details={"mode": "cpu-fallback"},
-        )
+        return self.inner.runtime.run(plan, X, config=config)
 
     # ------------------------------------------------------------------
     def classify(
@@ -393,31 +422,35 @@ class ResilientClassifier:
     ) -> RunResult:
         """Guarded classification: never raises for injected fault kinds.
 
-        Walks the fallback ladder until a rung produces predictions; the
-        attached :class:`ReliabilityReport` says exactly what it took.
+        Walks the :meth:`ladder_plans` list until a rung's plan produces
+        predictions; the attached :class:`ReliabilityReport` says exactly
+        what it took.  ``variant="auto"`` is resolved by the planner once,
+        before the ladder is built.
         """
         X = check_array_2d(X, "X")
         if y_true is not None:
             y_true = np.asarray(y_true)
             check_same_length(X, y_true, names=("X", "y_true"))
+        if config.variant is KernelVariant.AUTO:
+            config = self.inner.planner.plan(X, config).to_run_config()
         report = ReliabilityReport()
         result: Optional[RunResult] = None
-        ladder = self._LADDERS[config.platform]
-        for depth, platform in enumerate(ladder):
+        for depth, plan in enumerate(self.ladder_plans(config)):
+            if plan.platform == CPU_PLATFORM:
+                result = self._cpu_rung(X, plan, config)
+                report.fallback_depth = depth
+                report.platform_used = CPU_PLATFORM
+                break
+            platform = Platform(plan.platform)
             breaker = self.breakers[platform]
             if not breaker.allow():
                 report.breaker_skips += 1
                 continue
-            rung_cfg = self._rung_config(config, platform)
-            result = self._run_rung(X, rung_cfg, breaker, report)
+            result = self._run_rung(X, plan, breaker, report)
             if result is not None:
                 report.fallback_depth = depth
                 report.platform_used = platform.value
                 break
-        if result is None:
-            result = self._cpu_rung(X, config)
-            report.fallback_depth = len(ladder)
-            report.platform_used = "cpu"
         if y_true is not None:
             result.accuracy = accuracy_score(y_true, result.predictions)
         result.reliability = report
@@ -428,15 +461,15 @@ class ResilientClassifier:
     def _run_rung(
         self,
         X: np.ndarray,
-        config: RunConfig,
+        plan: ExecutionPlan,
         breaker: CircuitBreaker,
         report: ReliabilityReport,
     ) -> Optional[RunResult]:
-        """Retry loop on one platform; None means the rung gave up."""
+        """Retry loop on one rung's plan; None means the rung gave up."""
         for attempt in range(self.retry.max_attempts):
             report.attempts += 1
             try:
-                res = self._attempt(X, config, report)
+                res = self._attempt(X, plan, report)
                 report.note_transition(breaker.name, breaker.record_success())
                 return res
             except TransientKernelError:
@@ -447,7 +480,7 @@ class ResilientClassifier:
                 # Corruption is persistent — retrying the same buffers is
                 # pointless.  Salvage via quorum voting or fail the rung.
                 report.integrity_failures += 1
-                res = self._degraded(X, config, report)
+                res = self._degraded(X, plan, report)
                 if res is not None:
                     report.note_transition(
                         breaker.name, breaker.record_success()

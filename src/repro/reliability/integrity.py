@@ -218,7 +218,7 @@ def degraded_predict(
             f"quorum requires {needed}"
         )
     votes = np.zeros((X.shape[0], layout.n_classes), dtype=np.int64)
-    rows = np.arange(X.shape[0])
+    rows = np.arange(X.shape[0], dtype=np.int64)
     for t in np.flatnonzero(alive):
         votes[rows, layout.predict_tree(X, int(t))] += 1
     dropped = tuple(int(t) for t in np.flatnonzero(~alive))

@@ -1,0 +1,357 @@
+"""Plan compilation and the cost-model autotuner.
+
+:func:`compile_plan` is the explicit path: a caller's
+:class:`~repro.core.config.RunConfig` maps 1:1 onto an
+:class:`~repro.runtime.plan.ExecutionPlan` (the legacy ``classify()``
+wiring, made explicit and serializable).
+
+:class:`Planner` is the ``variant="auto"`` path: it enumerates candidate
+plans for the requested platform, scores them all with the analytic cost
+model (:mod:`repro.runtime.cost`), refines the top-k with short simulated
+probe runs on a seeded query sample, and caches the winner under
+``results/plan_cache/`` keyed by (forest fingerprint, dataset profile) —
+a cache hit replays the stored plan without any probes.  Every step is
+deterministic under a fixed seed: candidate order is fixed, ties break on
+the plan's canonical JSON, and the probe sample comes from a seeded
+generator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.fpgasim.replication import FULL_4S12C, HYBRID_SPLIT_4S10C, Replication
+from repro.layout.hierarchical import LayoutParams
+from repro.runtime.cost import (
+    WorkloadProfile,
+    estimate_plan_cost,
+    plan_footprint_bytes,
+    profile_workload,
+)
+from repro.runtime.plan import ExecutionPlan, PlanError
+from repro.runtime.session import RuntimeSession
+from repro.utils.rng import as_rng
+from repro.utils.validation import array_crc32
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+def forest_fingerprint(trees: Sequence) -> int:
+    """CRC32 over every tree's node arrays (order-sensitive)."""
+    crc = 0
+    for t in trees:
+        crc = array_crc32(np.ascontiguousarray(t.feature, dtype=np.int32), crc)
+        crc = array_crc32(np.ascontiguousarray(t.threshold, dtype=np.float32), crc)
+        crc = array_crc32(np.ascontiguousarray(t.left_child, dtype=np.int32), crc)
+        crc = array_crc32(np.ascontiguousarray(t.right_child, dtype=np.int32), crc)
+        crc = array_crc32(np.ascontiguousarray(t.value, dtype=np.int32), crc)
+    return crc
+
+
+def dataset_profile(X: np.ndarray) -> Tuple[int, int, int]:
+    """(n_queries, n_features, sample CRC) identifying a query workload."""
+    X = np.ascontiguousarray(X, dtype=np.float32)
+    step = max(1, X.shape[0] // 32)
+    sample = X[::step][:32]
+    return (int(X.shape[0]), int(X.shape[1]), array_crc32(sample))
+
+
+# ----------------------------------------------------------------------
+# Explicit compilation
+# ----------------------------------------------------------------------
+def compile_plan(forest, config: RunConfig = RunConfig()) -> ExecutionPlan:
+    """Map an explicit :class:`RunConfig` onto an :class:`ExecutionPlan`.
+
+    ``forest`` (a fitted RandomForestClassifier, a tree list, or ``None``)
+    is accepted for signature symmetry with the autotuner; explicit
+    compilation needs only the config.  Raises :class:`PlanError` for
+    (platform, variant) pairs with no registered kernel and for
+    ``variant="auto"`` (which needs a :class:`Planner` and the queries).
+    """
+    if not isinstance(config, RunConfig):
+        raise PlanError(f"compile_plan takes a RunConfig, got {type(config).__name__}")
+    if config.variant is KernelVariant.AUTO:
+        raise PlanError(
+            'variant="auto" has no explicit plan — use Planner.plan(X, config) '
+            "(or classify(), which routes auto configs through the planner)"
+        )
+    return ExecutionPlan(
+        platform=config.platform.value,
+        variant=config.variant.value,
+        layout=config.layout,
+        replication=config.replication,
+        batch_split=1,
+        verify_integrity=config.verify_integrity,
+        source="explicit",
+    )
+
+
+# ----------------------------------------------------------------------
+# Autotuner
+# ----------------------------------------------------------------------
+def default_plan_cache_dir() -> str:
+    """``REPRO_PLAN_CACHE_DIR`` or ``<repo>/results/plan_cache``."""
+    path = os.environ.get("REPRO_PLAN_CACHE_DIR")
+    if path is None:
+        here = os.path.dirname(os.path.abspath(__file__))
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+        path = os.path.join(repo, "results", "plan_cache")
+    return path
+
+
+class Planner:
+    """Chooses an :class:`ExecutionPlan` for a session's forest.
+
+    Parameters
+    ----------
+    session:
+        The :class:`RuntimeSession` whose trees and device specs the
+        planner tunes for (probe runs execute through it).
+    cache_dir:
+        Plan-cache directory (``None`` = :func:`default_plan_cache_dir`).
+    probe_queries:
+        Size of the seeded sample used for cost profiling and probe runs.
+    top_k:
+        How many cost-ranked candidates get a real probe run.
+    seed:
+        Seeds the probe-sample draw (determinism of the whole decision).
+    sd_candidates / hybrid_rsd_extra:
+        Subtree depths enumerated for hierarchical variants; hybrid also
+        tries each extra root-subtree depth (the paper's RSD trick).
+    observer:
+        Optional observability sink; ``on_plan(plan)`` fires when a plan
+        is chosen (autotuned or replayed from cache).
+    """
+
+    def __init__(
+        self,
+        session: RuntimeSession,
+        cache_dir: Optional[str] = None,
+        probe_queries: int = 256,
+        top_k: int = 2,
+        seed: int = 0,
+        sd_candidates: Tuple[int, ...] = (4, 6, 8),
+        hybrid_rsd_extra: Tuple[int, ...] = (10,),
+        observer=None,
+    ):
+        self.session = session
+        self.cache_dir = cache_dir
+        self.probe_queries = int(probe_queries)
+        self.top_k = int(top_k)
+        self.seed = int(seed)
+        self.sd_candidates = tuple(sd_candidates)
+        self.hybrid_rsd_extra = tuple(hybrid_rsd_extra)
+        self.observer = observer
+        #: Exact accounting of what each decision took (tests assert on it).
+        self.stats: Dict[str, int] = {
+            "cost_evaluations": 0,
+            "probe_runs": 0,
+            "cache_hits": 0,
+            "cache_writes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def plan(self, X: np.ndarray, config: RunConfig = RunConfig()) -> ExecutionPlan:
+        """Honor an explicit config, or autotune for ``variant="auto"``."""
+        if config.variant is not KernelVariant.AUTO:
+            return compile_plan(None, config)
+        return self.autotune(
+            X, platform=config.platform, verify_integrity=config.verify_integrity
+        )
+
+    # ------------------------------------------------------------------
+    def candidates(self, platform: Platform) -> List[ExecutionPlan]:
+        """The deterministic candidate enumeration for one platform.
+
+        The cuML baseline is excluded on purpose: it is the comparator the
+        paper argues against, not a deployment choice of this system.
+        """
+        platform = Platform(platform)
+        plans: List[ExecutionPlan] = []
+        replications: Tuple[Replication, ...] = (Replication(),)
+        if platform is Platform.FPGA:
+            replications = (Replication(), FULL_4S12C)
+
+        def add(variant: str, layout: LayoutParams, repl: Replication):
+            plans.append(
+                ExecutionPlan(
+                    platform=platform.value,
+                    variant=variant,
+                    layout=layout,
+                    replication=repl,
+                )
+            )
+
+        for repl in replications:
+            add("csr", LayoutParams(), repl)
+            for sd in self.sd_candidates:
+                add("independent", LayoutParams(sd), repl)
+                add("collaborative", LayoutParams(sd), repl)
+                for rsd in (sd,) + tuple(r for r in self.hybrid_rsd_extra if r != sd):
+                    add("hybrid", LayoutParams(sd, rsd), repl)
+        if platform is Platform.FPGA:
+            for sd in self.sd_candidates:
+                for rsd in (sd,) + tuple(r for r in self.hybrid_rsd_extra if r != sd):
+                    add("hybrid", LayoutParams(sd, rsd), HYBRID_SPLIT_4S10C)
+        return plans
+
+    # ------------------------------------------------------------------
+    def _probe_sample(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        if n <= self.probe_queries:
+            return X
+        rng = as_rng(self.seed)
+        idx = np.sort(rng.choice(n, size=self.probe_queries, replace=False))
+        return X[idx]
+
+    def _profile_for(
+        self, plan: ExecutionPlan, probe: np.ndarray, memo: Dict[Tuple, WorkloadProfile]
+    ) -> WorkloadProfile:
+        # Hierarchical profiles depend on (sd, rsd); CSR/cuML costs only use
+        # the layout-independent visit count, so any profile serves them —
+        # keyed under the plan's own layout params to keep lookups trivial.
+        key = (plan.layout.sd, plan.layout.rsd)
+        if key not in memo:
+            hier_plan = ExecutionPlan(
+                platform=plan.platform if plan.platform != "cpu" else "gpu",
+                variant="independent",
+                layout=plan.layout,
+                replication=plan.replication,
+            )
+            layout = self.session.layout_for(hier_plan)
+            memo[key] = profile_workload(layout, probe)
+        return memo[key]
+
+    def estimate(
+        self,
+        plan: ExecutionPlan,
+        probe: np.ndarray,
+        n_queries: int,
+        memo: Optional[Dict[Tuple, WorkloadProfile]] = None,
+    ) -> float:
+        """Analytic cost of one candidate, seconds."""
+        if memo is None:
+            memo = {}
+        profile = self._profile_for(plan, probe, memo)
+        layout = self.session.layout_for(plan)
+        footprint = plan_footprint_bytes(plan, layout, self.session.trees)
+        self.stats["cost_evaluations"] += 1
+        return estimate_plan_cost(
+            plan,
+            profile,
+            n_queries,
+            footprint,
+            self.session.gpu,
+            self.session.fpga,
+        )
+
+    # ------------------------------------------------------------------
+    def autotune(
+        self,
+        X: np.ndarray,
+        platform: Platform = Platform.GPU,
+        verify_integrity: bool = False,
+    ) -> ExecutionPlan:
+        """Pick the cheapest plan for this (forest, workload, platform)."""
+        platform = Platform(platform)
+        X = np.ascontiguousarray(X, dtype=np.float32)
+        cache_path = self._cache_path(X, platform)
+        cached = self._load_cached(cache_path)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            plan = self._finalize(cached, verify_integrity, source="cache")
+            self._notify(plan)
+            return plan
+
+        probe = self._probe_sample(X)
+        n_queries = int(X.shape[0])
+        memo: Dict[Tuple, WorkloadProfile] = {}
+        scored = [
+            (self.estimate(plan, probe, n_queries, memo), plan.to_json(), plan)
+            for plan in self.candidates(platform)
+        ]
+        scored.sort(key=lambda item: (item[0], item[1]))
+        finalists = scored[: max(1, self.top_k)]
+
+        probed = []
+        for cost, key, plan in finalists:
+            res = self.session.run(plan, probe, config=plan.to_run_config())
+            self.stats["probe_runs"] += 1
+            probed.append((res.seconds, key, cost, plan))
+        probed.sort(key=lambda item: (item[0], item[1]))
+        _, _, best_cost, best = probed[0]
+
+        chosen = ExecutionPlan(
+            platform=best.platform,
+            variant=best.variant,
+            layout=best.layout,
+            replication=best.replication,
+            batch_split=best.batch_split,
+            source="autotuned",
+            cost_estimate_s=best_cost,
+        )
+        self._store_cached(cache_path, chosen)
+        plan = self._finalize(chosen, verify_integrity, source="autotuned")
+        self._notify(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self, plan: ExecutionPlan, verify_integrity: bool, source: str
+    ) -> ExecutionPlan:
+        return ExecutionPlan(
+            platform=plan.platform,
+            variant=plan.variant,
+            layout=plan.layout,
+            replication=plan.replication,
+            batch_split=plan.batch_split,
+            verify_integrity=verify_integrity,
+            source=source,
+            cost_estimate_s=plan.cost_estimate_s,
+        )
+
+    def _notify(self, plan: ExecutionPlan) -> None:
+        if self.observer is not None and hasattr(self.observer, "on_plan"):
+            self.observer.on_plan(plan)
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, X: np.ndarray, platform: Platform) -> str:
+        root = self.cache_dir or default_plan_cache_dir()
+        fp = forest_fingerprint(self.session.trees)
+        nq, nf, xcrc = dataset_profile(X)
+        name = (
+            f"plan_{platform.value}_f{fp:08x}_q{nq}_d{nf}_x{xcrc:08x}"
+            f"_p{self.probe_queries}_s{self.seed}.json"
+        )
+        return os.path.join(root, name)
+
+    def _load_cached(self, path: str) -> Optional[ExecutionPlan]:
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+            return ExecutionPlan.from_dict(data["plan"])
+        except (OSError, ValueError, KeyError):
+            return None  # unreadable cache entries are retuned, not fatal
+
+    def _store_cached(self, path: str, plan: ExecutionPlan) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "version": 1,
+            "forest_fingerprint": forest_fingerprint(self.session.trees),
+            "probe_queries": self.probe_queries,
+            "seed": self.seed,
+            "plan": plan.as_dict(),
+        }
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=1, sort_keys=True)
+        self.stats["cache_writes"] += 1

@@ -33,7 +33,14 @@ COMMON_HELPERS = {
     "get_forest",
     "band_depths",
     "queries_for",
+    "execute",
+    "get_session",
+    "get_planner",
 }
+
+#: Module prefixes whose import from an experiment means it instantiates
+#: kernels itself instead of going through the runtime seam.
+KERNEL_MODULE_PREFIXES = ("repro.kernels", "repro.baselines")
 
 
 @register
@@ -105,3 +112,44 @@ class UnvalidatedEntryRule(Rule):
                     "validation; unknown scale names should raise the "
                     "harness's KeyError with available choices",
                 )
+
+
+def _is_kernel_module(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in KERNEL_MODULE_PREFIXES
+    )
+
+
+@register
+class KernelImportRule(Rule):
+    id = "API003"
+    summary = (
+        "experiments must not import kernel classes directly; execution "
+        "goes through the runtime seam (experiments.common.execute / "
+        "repro.runtime)"
+    )
+    path_prefixes = EXPERIMENTS_PREFIX
+    exempt_modules = EXEMPT
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_kernel_module(alias.name):
+                        yield ctx.violation(
+                            node,
+                            self.id,
+                            f"import of {alias.name} binds an experiment to "
+                            "a concrete kernel; compile a plan and run it "
+                            "via experiments.common.execute (repro.runtime)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None and _is_kernel_module(node.module):
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"import from {node.module} binds an experiment to "
+                        "a concrete kernel; compile a plan and run it via "
+                        "experiments.common.execute (repro.runtime)",
+                    )

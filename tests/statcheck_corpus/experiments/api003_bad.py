@@ -1,0 +1,15 @@
+"""BAD: an experiment instantiates kernel classes instead of planning."""
+
+import repro.kernels  # API003
+from repro.baselines.cuml_fil import CuMLFILKernel  # API003
+from repro.experiments.common import get_dataset, get_forest, get_scale
+from repro.kernels.gpu_hybrid import GPUHybridKernel  # API003
+
+
+def run(scale="default"):
+    scale = get_scale(scale)
+    ds = get_dataset("susy", scale)
+    forest = get_forest("susy", 8, scale.n_trees, scale)
+    kernel = GPUHybridKernel(repro.kernels)  # stand-in wiring
+    baseline = CuMLFILKernel(kernel)
+    return [{"trees": len(forest.trees_), "baseline": repr(baseline)}]

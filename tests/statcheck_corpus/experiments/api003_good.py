@@ -1,0 +1,12 @@
+"""GOOD: the experiment runs its configuration through the runtime seam."""
+
+from repro.core.config import RunConfig
+from repro.experiments.common import execute, get_dataset, get_forest, get_scale, queries_for
+
+
+def run(scale="default"):
+    scale = get_scale(scale)
+    ds = get_dataset("susy", scale)
+    forest = get_forest("susy", 8, scale.n_trees, scale)
+    res = execute(forest, queries_for(ds, scale), RunConfig(variant="hybrid"))
+    return [{"seconds": res.seconds}]
