@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint statcheck faults bench bench-smoke experiments report plan trace obs-diff clean-cache loc
+.PHONY: install test lint statcheck faults serve-chaos serve-chaos-baseline bench bench-smoke experiments report plan trace obs-diff clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -24,6 +24,18 @@ faults:
 	pytest tests/test_reliability_faults.py tests/test_reliability_guard.py \
 		tests/test_reliability_integrity.py tests/test_forest_io_integrity.py \
 		tests/test_experiments_fault_sweep.py tests/test_failure_injection.py
+
+# Serving chaos soak (docs/architecture.md §10): replay the seeded chaos
+# grid twice, insist the survivability reports are byte-identical, and
+# gate p99 latency / shed rate / wrong answers against the checked-in
+# baseline.  Fails (non-zero) on any wrong answer or regression.
+serve-chaos:
+	PYTHONPATH=src python -m repro.experiments.serving_chaos --scale smoke
+
+# Regenerate the soak baseline after an intentional serving-layer change.
+serve-chaos-baseline:
+	PYTHONPATH=src python -m repro.experiments.serving_chaos \
+		--scale smoke --write-baseline
 
 bench:
 	pytest benchmarks/ --benchmark-only

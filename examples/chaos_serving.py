@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Chaos serving: a simulated bad day at the inference front door.
+
+`examples/resilient_serving.py` shows one guarded *call* surviving
+faults; this demo runs the whole *service*.  A
+:class:`~repro.serving.frontdoor.ServingFrontDoor` sits ahead of the
+guard — token-bucket admission, bounded queue, deadline propagation,
+micro-batching sized by a calibrated latency model — while the chaos
+harness replays seeded traffic against seeded faults:
+
+1. a calm steady morning (everything admitted, everything on time),
+2. a bursty lunch rush against a tight 20 ms deadline — the token
+   bucket rejects the overflow with typed ``Overload`` reasons and the
+   batcher sheds what cannot finish in time *before* running it,
+3. a multi-tenant afternoon where one greedy tenant meets its own
+   bucket while quiet tenants keep being served, as device-layout
+   corruption pushes execution into degraded quorum voting,
+4. the perfect storm: corruption + transient launch failures + hangs on
+   an FPGA-first ladder, all at once.
+
+Every scenario is replayed **twice** and the survivability reports are
+byte-compared — the determinism contract the CI soak gates on.  The
+punchline column is ``wrong``: across every scenario, zero served
+non-degraded predictions differ from the authoritative host trees.
+
+Run:  python examples/chaos_serving.py
+"""
+
+import json
+
+from repro import HierarchicalForestClassifier, load_dataset
+from repro.serving import default_scenarios, run_scenario
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Training the serving forest (Higgs workload, scaled)...")
+    ds = load_dataset("higgs", rows=6000)
+    clf = HierarchicalForestClassifier(n_estimators=12, max_depth=10, seed=0)
+    clf.fit(ds.X_train, ds.y_train)
+    X_pool = ds.X_test[:512]
+
+    rows = []
+    for scenario in default_scenarios(duration_s=0.5):
+        # Corruption mutates device layouts in place: fresh classifier
+        # per scenario, same forest.
+        def fresh():
+            return HierarchicalForestClassifier.from_forest(clf.forest)
+
+        report = run_scenario(fresh(), X_pool, scenario)
+        replay = run_scenario(fresh(), X_pool, scenario)
+        identical = json.dumps(report, sort_keys=True) == json.dumps(
+            replay, sort_keys=True
+        )
+        rows.append(
+            [
+                scenario.name,
+                report["requests"]["offered"],
+                report["requests"]["served"],
+                sum(report["requests"]["rejected"].values()),
+                sum(report["requests"]["shed"].values()),
+                f"{report['latency_s']['p99'] * 1e3:.2f}",
+                f"{report['rates']['degraded']:.2f}",
+                "yes" if identical else "NO",
+                report["correctness"]["wrong_answers"],
+            ]
+        )
+        faults = report["faults_injected"]
+        tenants = ", ".join(
+            f"{t}: {d['served']} served / {d['shed']} shed"
+            for t, d in sorted(report["by_tenant"].items())
+        )
+        print(
+            f"  {scenario.name}: faults={faults}  platforms="
+            f"{report['execution']['platforms']}  tenants=[{tenants}]"
+        )
+
+    print(
+        "\n"
+        + format_table(
+            [
+                "scenario",
+                "offered",
+                "served",
+                "rejected",
+                "shed",
+                "p99 ms",
+                "degraded",
+                "replay==",
+                "wrong",
+            ],
+            rows,
+            title="Survivability across the chaos grid (two replays each)",
+        )
+    )
+    print(
+        "\nEvery replay was byte-identical; overload was refused with typed "
+        "reasons,\nlate work was shed before burning backend time, and no "
+        "served non-degraded\nprediction ever differed from the host trees."
+    )
+
+
+if __name__ == "__main__":
+    main()

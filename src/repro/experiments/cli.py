@@ -23,6 +23,7 @@ from repro.experiments import (
     fig8_profiling,
     fig9_fpga_runtime,
     fig10_gpu_vs_fpga,
+    serving_chaos,
     table2_rsd,
     table3_fpga,
 )
@@ -36,8 +37,9 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig10": fig10_gpu_vs_fpga.main,
     "table2": table2_rsd.main,
     "table3": table3_fpga.main,
-    #: Not a paper artifact: reliability-subsystem characterisation.
+    #: Not paper artifacts: reliability / serving subsystem characterisation.
     "fault-sweep": fault_sweep.main,
+    "serving-chaos": serving_chaos.main,
 }
 
 

@@ -17,6 +17,8 @@ from repro.obs.bridges import (
     record_pipeline,
     record_plan,
     record_reliability,
+    record_response,
+    record_serving_stats,
 )
 from repro.obs.export import (
     chrome_trace_events,
@@ -49,6 +51,8 @@ __all__ = [
     "record_pipeline",
     "record_plan",
     "record_reliability",
+    "record_response",
+    "record_serving_stats",
     "chrome_trace_events",
     "prometheus_text",
     "registry_manifest_counters",

@@ -199,6 +199,61 @@ def record_reliability(registry: MetricsRegistry, report,
 
 
 # ----------------------------------------------------------------------
+# Serving front door
+# ----------------------------------------------------------------------
+def record_response(registry: MetricsRegistry, response, **labels) -> None:
+    """Ingest one serving :class:`~repro.serving.request.Response`.
+
+    ``serving.responses`` counts terminal outcomes per (status, tenant);
+    served requests additionally land in the end-to-end latency histogram
+    (queue wait + batching + execution, simulated seconds) and the
+    degraded/hedged counters the survivability report summarises.
+    """
+    registry.counter(
+        "serving.responses", "terminal request outcomes"
+    ).inc(1.0, status=response.status.value, tenant=response.tenant, **labels)
+    if not response.ok:
+        return
+    registry.histogram(
+        "serving.latency.seconds",
+        "served end-to-end latency (queue + batch + execute)",
+        buckets=LATENCY_BUCKETS,
+    ).observe(response.latency_s, tenant=response.tenant, **labels)
+    registry.counter(
+        "serving.served_by_platform", "served requests per platform"
+    ).inc(1.0, platform=response.platform_used or "unknown", **labels)
+    if response.degraded:
+        registry.counter(
+            "serving.degraded", "requests served by degraded quorum voting"
+        ).inc(1.0, tenant=response.tenant, **labels)
+    if response.hedged:
+        registry.counter(
+            "serving.hedged", "requests batched around an open breaker"
+        ).inc(1.0, tenant=response.tenant, **labels)
+
+
+def record_serving_stats(registry: MetricsRegistry, stats,
+                         **labels) -> None:
+    """Ingest a final :class:`~repro.serving.request.ServingStats` snapshot."""
+    registry.counter(
+        "serving.submitted", "requests admitted past the front door"
+    ).inc(float(stats.submitted), **labels)
+    registry.counter(
+        "serving.batches", "micro-batches executed"
+    ).inc(float(stats.batches), **labels)
+    registry.counter(
+        "serving.rows_executed", "feature rows pushed through backends"
+    ).inc(float(stats.rows_executed), **labels)
+    for reason, count in sorted(stats.rejected.items()):
+        registry.counter(
+            "serving.rejected", "typed admission rejections"
+        ).inc(float(count), reason=reason, **labels)
+    registry.gauge(
+        "serving.queue_depth_max", "worst queue depth seen"
+    ).max(float(stats.max_queue_depth), **labels)
+
+
+# ----------------------------------------------------------------------
 # The observer the hooks talk to
 # ----------------------------------------------------------------------
 class ObsSession:
@@ -212,6 +267,9 @@ class ObsSession:
     * ``on_transfer(direction, seconds, nbytes)``
     * ``on_guarded_call(result, report)``
     * ``on_plan(plan)`` (the :class:`~repro.runtime.Planner`'s decisions)
+    * ``on_response(response)`` / ``on_serving_batch(rows, seconds,
+      platform, hedged)`` / ``on_queue_depth(depth)`` (the
+      :class:`~repro.serving.ServingFrontDoor` pipeline)
 
     Consecutive kernel launches lay out end-to-end on the simulated
     timeline (the device stream is serial); FPGA CU lanes run in parallel
@@ -330,3 +388,35 @@ class ObsSession:
                 f"breaker {name}: {old} -> {new}",
                 args={"breaker": name, "from": old, "to": new},
             )
+
+    # -- serving front door ---------------------------------------------
+    def on_response(self, response) -> None:
+        record_response(self.registry, response)
+        if response.status.shed:
+            self.tracer.instant(
+                "serving",
+                f"shed {response.status.value}",
+                args={
+                    "request_id": response.request_id,
+                    "tenant": response.tenant,
+                },
+            )
+
+    def on_serving_batch(self, rows: int, seconds: float, platform: str,
+                         hedged: bool) -> None:
+        self.registry.histogram(
+            "serving.batch.rows", "rows coalesced per micro-batch",
+            buckets=(1, 4, 16, 64, 256, 1024),
+        ).observe(float(rows))
+        self.tracer.add_span(
+            "serving",
+            f"batch[{rows} rows]",
+            seconds,
+            cat="serving",
+            args={"platform": platform, "hedged": hedged},
+        )
+
+    def on_queue_depth(self, depth: int) -> None:
+        self.registry.gauge(
+            "serving.queue_depth", "front-door queue depth"
+        ).set(float(depth))

@@ -46,6 +46,7 @@ from repro.reliability.integrity import (
 from repro.runtime.backends import CPUBackend
 from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan
 from repro.runtime.planner import compile_plan
+from repro.runtime.session import ExecutionError
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_array_2d, check_positive_int, check_same_length
 
@@ -472,21 +473,39 @@ class ResilientClassifier:
                 res = self._attempt(X, plan, report)
                 report.note_transition(breaker.name, breaker.record_success())
                 return res
-            except TransientKernelError:
-                report.transient_failures += 1
-            except DeadlineExceededError:
-                report.deadline_exceeded += 1
-            except LayoutIntegrityError:
-                # Corruption is persistent — retrying the same buffers is
-                # pointless.  Salvage via quorum voting or fail the rung.
-                report.integrity_failures += 1
-                res = self._degraded(X, plan, report)
-                if res is not None:
-                    report.note_transition(
-                        breaker.name, breaker.record_success()
-                    )
-                    return res
-                break
+            except (
+                TransientKernelError,
+                DeadlineExceededError,
+                LayoutIntegrityError,
+                ExecutionError,
+            ) as exc:
+                # The session wraps backend failures in a typed
+                # ExecutionError carrying plan/shard context; the guard
+                # dispatches on the chained cause (a bare exception can
+                # still arrive from its own pre-launch verification).
+                fault = (
+                    exc.__cause__ if isinstance(exc, ExecutionError) else exc
+                )
+                if isinstance(fault, TransientKernelError):
+                    report.transient_failures += 1
+                elif isinstance(fault, DeadlineExceededError):
+                    report.deadline_exceeded += 1
+                elif isinstance(fault, LayoutIntegrityError):
+                    # Corruption is persistent — retrying the same buffers
+                    # is pointless.  Salvage via quorum voting or fail the
+                    # rung.
+                    report.integrity_failures += 1
+                    res = self._degraded(X, plan, report)
+                    if res is not None:
+                        report.note_transition(
+                            breaker.name, breaker.record_success()
+                        )
+                        return res
+                    break
+                else:
+                    # Not an injected-fault kind: a genuine bug must
+                    # surface, never be retried into the fallback ladder.
+                    raise
             if attempt < self.retry.max_attempts - 1:
                 report.retries += 1
                 report.backoff_seconds += self.retry.backoff_seconds(

@@ -40,7 +40,7 @@ from repro.runtime.planner import (
     default_plan_cache_dir,
     forest_fingerprint,
 )
-from repro.runtime.session import RuntimeSession
+from repro.runtime.session import ExecutionError, RuntimeSession
 
 __all__ = [
     "Backend",
@@ -60,5 +60,6 @@ __all__ = [
     "dataset_profile",
     "default_plan_cache_dir",
     "forest_fingerprint",
+    "ExecutionError",
     "RuntimeSession",
 ]

@@ -154,6 +154,7 @@ class Planner:
             "probe_runs": 0,
             "cache_hits": 0,
             "cache_writes": 0,
+            "cache_evictions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -340,8 +341,21 @@ class Planner:
             with open(path, encoding="utf-8") as f:
                 data = json.load(f)
             return ExecutionPlan.from_dict(data["plan"])
-        except (OSError, ValueError, KeyError):
-            return None  # unreadable cache entries are retuned, not fatal
+        except (OSError, ValueError, KeyError) as e:
+            # A corrupt/truncated cache entry (interrupted write, bit rot)
+            # must never poison planning: warn, evict the bad file, and let
+            # the caller re-probe.  The atomic-rename writer makes this
+            # path rare, not impossible (e.g. external truncation).
+            print(
+                f"[plan cache] discarding corrupt entry "
+                f"{os.path.basename(path)}: {type(e).__name__}: {e}"
+            )
+            self.stats["cache_evictions"] += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass  # eviction is best-effort; retuning overwrites anyway
+            return None
 
     def _store_cached(self, path: str, plan: ExecutionPlan) -> None:
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -352,6 +366,10 @@ class Planner:
             "seed": self.seed,
             "plan": plan.as_dict(),
         }
-        with open(path, "w", encoding="utf-8") as f:
+        # Write-then-rename so a crash mid-write leaves either the old
+        # entry or none — never a truncated JSON a later run must evict.
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=1, sort_keys=True)
+        os.replace(tmp, path)
         self.stats["cache_writes"] += 1

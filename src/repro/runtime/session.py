@@ -23,6 +23,32 @@ from repro.runtime.backends import Backend, backend_for, default_backends
 from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan, PlanError, check_pair
 
 
+class ExecutionError(RuntimeError):
+    """A backend raised while executing a plan; says exactly where.
+
+    Carries the failing :class:`ExecutionPlan` plus the shard index of a
+    split batch, so a caller (the reliability guard, a serving layer, a
+    log line) knows *which* platform/variant/shard failed without parsing
+    the message.  The original backend exception is chained as
+    ``__cause__`` — dispatch on ``type(err.__cause__)`` to distinguish a
+    retryable :class:`~repro.reliability.faults.TransientKernelError` from
+    persistent corruption.
+    """
+
+    def __init__(self, plan: ExecutionPlan, shard_index: int, n_shards: int,
+                 cause: BaseException):
+        super().__init__(
+            f"plan {plan.label} failed on shard {shard_index + 1}/{n_shards}"
+            f": {type(cause).__name__}: {cause}"
+        )
+        self.plan = plan
+        self.platform = plan.platform
+        self.variant = plan.variant
+        self.shard_index = int(shard_index)
+        self.n_shards = int(n_shards)
+        self.__cause__ = cause
+
+
 class RuntimeSession:
     """Executes plans for one fixed set of trees.
 
@@ -133,10 +159,22 @@ class RuntimeSession:
 
         layout = self.layout_for(plan)
         bounds = self._shard_bounds(X.shape[0], plan.batch_split)
-        outputs = [
-            backend.run(plan, layout, X[lo:hi], launch_gate=launch_gate, observer=observer)
-            for lo, hi in bounds
-        ]
+        outputs = []
+        for shard_index, (lo, hi) in enumerate(bounds):
+            try:
+                outputs.append(
+                    backend.run(
+                        plan,
+                        layout,
+                        X[lo:hi],
+                        launch_gate=launch_gate,
+                        observer=observer,
+                    )
+                )
+            except Exception as exc:
+                raise ExecutionError(
+                    plan, shard_index, len(bounds), exc
+                ) from exc
         if len(outputs) == 1:
             predictions = outputs[0].predictions
             seconds = outputs[0].seconds

@@ -1,0 +1,137 @@
+"""Admission control: token buckets and the bounded-queue gate.
+
+Load shedding happens *here*, at the front edge, before a request occupies
+queue memory or backend time.  Two mechanisms compose:
+
+* :class:`TokenBucket` — classic rate limiting, driven entirely by the
+  caller-supplied simulated clock reading (no wall time anywhere), so an
+  admission trace replays bit-identically.  One global bucket caps the
+  service; optional per-tenant buckets stop one noisy tenant from starving
+  the rest (the multi-tenant chaos profile exercises exactly that).
+* **bounded queue** — the controller refuses admission when the front
+  door's queue is at ``queue_limit``.  The queue can never grow without
+  bound; backpressure is explicit (a typed
+  :class:`~repro.serving.request.Overload`), never implicit (memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.serving.request import Overload
+from repro.utils.validation import check_positive_int
+
+
+class TokenBucket:
+    """Deterministic token bucket over an explicit time axis.
+
+    Refill is computed lazily from the elapsed simulated seconds between
+    calls; the bucket never reads a clock itself.  ``capacity`` bounds the
+    burst a cold bucket admits; ``rate`` is tokens (requests) per second.
+    """
+
+    def __init__(self, rate: float, capacity: float, now: float = 0.0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._tokens = float(capacity)
+        self._last = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._last) * self.rate
+            )
+        self._last = max(self._last, now)
+
+    def tokens(self, now: float) -> float:
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_take(self, now: float, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False (and no debit) otherwise."""
+        self._refill(now)
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def seconds_until(self, n: float = 1.0) -> float:
+        """Simulated seconds until ``n`` tokens will be available."""
+        deficit = n - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission gate.
+
+    ``rate_qps`` / ``burst`` shape the global bucket; ``tenant_rate_qps`` /
+    ``tenant_burst`` (when set) add one bucket per tenant; ``queue_limit``
+    bounds the micro-batcher's queue in *requests*.
+    """
+
+    rate_qps: float = 1000.0
+    burst: float = 64.0
+    queue_limit: int = 256
+    tenant_rate_qps: Optional[float] = None
+    tenant_burst: Optional[float] = None
+
+    def __post_init__(self):
+        if self.rate_qps <= 0 or self.burst <= 0:
+            raise ValueError("rate_qps and burst must be positive")
+        check_positive_int(self.queue_limit, "queue_limit")
+        if (self.tenant_rate_qps is None) != (self.tenant_burst is None):
+            raise ValueError(
+                "tenant_rate_qps and tenant_burst must be set together"
+            )
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` at the front door's edge."""
+
+    def __init__(self, policy: AdmissionPolicy, now: float = 0.0):
+        self.policy = policy
+        self._bucket = TokenBucket(policy.rate_qps, policy.burst, now=now)
+        self._tenant_buckets: Dict[str, TokenBucket] = {}
+
+    def _tenant_bucket(self, tenant: str, now: float) -> Optional[TokenBucket]:
+        if self.policy.tenant_rate_qps is None:
+            return None
+        bucket = self._tenant_buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.policy.tenant_rate_qps, self.policy.tenant_burst, now=now
+            )
+            self._tenant_buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, queue_depth: int, now: float) -> None:
+        """Admit one request or raise a typed :class:`Overload`.
+
+        Order matters: the queue check comes first (cheapest signal of
+        overload and no token debit), then the per-tenant bucket (protects
+        other tenants), then the global bucket.  A rejection debits no
+        bucket, so shed traffic does not consume future capacity.
+        """
+        if queue_depth >= self.policy.queue_limit:
+            raise Overload("queue-full", tenant)
+        per_tenant = self._tenant_bucket(tenant, now)
+        if per_tenant is not None and not per_tenant.try_take(now):
+            raise Overload(
+                "tenant-rate-limit", tenant, per_tenant.seconds_until()
+            )
+        if not self._bucket.try_take(now):
+            # Refund the tenant token: the request was not admitted.
+            if per_tenant is not None:
+                per_tenant._tokens = min(
+                    per_tenant.capacity, per_tenant._tokens + 1.0
+                )
+            raise Overload("rate-limit", tenant, self._bucket.seconds_until())

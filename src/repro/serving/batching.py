@@ -1,0 +1,181 @@
+"""Dynamic micro-batching: coalesce queued requests into deadline-safe batches.
+
+Batching amortises the backend's per-launch overhead (kernel launch on GPU,
+pipeline fill on FPGA) across many requests — but an over-greedy batch can
+bust the *earliest* member's deadline.  The batcher therefore works against
+an explicit :class:`LatencyModel` (calibrated from the runtime cost model,
+see :mod:`repro.serving.frontdoor`): requests join a batch only while the
+model's predicted execution time fits inside every member's remaining
+slack.  Requests whose deadline already passed, or that cannot finish in
+time even alone, are shed *here*, before any backend time is burnt.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.serving.request import Request
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Affine execution-time model: ``overhead_s + rows * per_row_s``.
+
+    Calibrated per backend from the analytic cost model (two evaluations
+    pin the line).  Deliberately simple: its job is ranking batch sizes and
+    guarding deadlines, not nanosecond accuracy.
+    """
+
+    overhead_s: float
+    per_row_s: float
+
+    def __post_init__(self):
+        if self.overhead_s < 0 or self.per_row_s < 0:
+            raise ValueError("latency model components must be non-negative")
+
+    def seconds_for(self, rows: int) -> float:
+        return self.overhead_s + rows * self.per_row_s
+
+    def optimal_rows(self, target_latency_s: float, cap: int = 4096) -> int:
+        """Largest batch whose predicted latency fits ``target_latency_s``.
+
+        This is the cost-model-optimal coalescing size: bigger amortises
+        the launch overhead further, but would overshoot the latency
+        target.  At least 1 — a single request must always be launchable.
+        """
+        if self.per_row_s <= 0:
+            return cap
+        rows = int((target_latency_s - self.overhead_s) / self.per_row_s)
+        return max(1, min(cap, rows))
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing knobs.
+
+    ``max_batch_rows`` caps one launch; ``max_wait_s`` bounds how long the
+    oldest queued request may age before a batch is forced out (the classic
+    throughput/latency coalescing window).
+    """
+
+    max_batch_rows: int = 256
+    max_wait_s: float = 0.002
+
+    def __post_init__(self):
+        check_positive_int(self.max_batch_rows, "max_batch_rows")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+
+
+class MicroBatcher:
+    """FIFO queue plus deadline-aware batch formation.
+
+    The queue is bounded by the admission controller (it checks ``depth``
+    before admitting), so the batcher itself never refuses an
+    :meth:`add` — by the time a request reaches it, admission has spoken.
+    """
+
+    def __init__(self, policy: BatchPolicy, model: LatencyModel):
+        self.policy = policy
+        self.model = model
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued_rows(self) -> int:
+        return sum(r.rows for r in self._queue)
+
+    def add(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def oldest_wait_s(self, now: float) -> float:
+        if not self._queue:
+            return 0.0
+        return now - self._queue[0].arrival_s
+
+    def due(self, now: float) -> bool:
+        """Should a batch be formed now?
+
+        Either the coalescing window expired for the oldest request, the
+        queue already holds a full batch, or the oldest request's slack is
+        about to be eaten by further waiting.
+        """
+        if not self._queue:
+            return False
+        if self.oldest_wait_s(now) >= self.policy.max_wait_s:
+            return True
+        if self.queued_rows >= self.policy.max_batch_rows:
+            return True
+        head = self._queue[0]
+        return head.slack(now) <= self.model.seconds_for(head.rows)
+
+    def take_expired(self, now: float) -> List[Request]:
+        """Pop every queued request whose deadline has already passed."""
+        expired = [r for r in self._queue if r.expired(now)]
+        if expired:
+            gone = {r.request_id for r in expired}
+            self._queue = deque(
+                r for r in self._queue if r.request_id not in gone
+            )
+        return expired
+
+    def next_batch(self, now: float) -> Tuple[List[Request], List[Request]]:
+        """Form one batch: ``(members, predicted_sheds)``.
+
+        FIFO order, no reordering across tenants (fairness is the admission
+        controller's job).  A request joins while the running row total
+        stays under ``max_batch_rows`` *and* the model's predicted seconds
+        for the grown batch fit inside the tightest member slack.  A head
+        request that cannot finish inside its own slack even alone is shed
+        as deadline-predicted — launching it would burn backend time to
+        produce an answer nobody may use.
+        """
+        members: List[Request] = []
+        sheds: List[Request] = []
+        rows = 0
+        min_slack = float("inf")
+        while self._queue:
+            head = self._queue[0]
+            if not members and self.model.seconds_for(head.rows) > head.slack(now):
+                self._queue.popleft()
+                sheds.append(head)
+                continue
+            grown_rows = rows + head.rows
+            if members and grown_rows > self.policy.max_batch_rows:
+                break
+            predicted = self.model.seconds_for(grown_rows)
+            slack = min(min_slack, head.slack(now))
+            if members and predicted > slack:
+                break
+            self._queue.popleft()
+            members.append(head)
+            rows = grown_rows
+            min_slack = slack
+        return members, sheds
+
+    def flush(self) -> List[Request]:
+        """Pop everything still queued (shutdown path)."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+
+def calibrate_latency_model(estimate, lo_rows: int = 1,
+                            hi_rows: int = 4096) -> LatencyModel:
+    """Fit the affine model through two cost-model evaluations.
+
+    ``estimate`` maps a row count to predicted seconds (the front door
+    closes it over the planner's analytic cost model, or over the CPU
+    backend's constant for the host rung).
+    """
+    lo = float(estimate(lo_rows))
+    hi = float(estimate(hi_rows))
+    per_row = max(0.0, (hi - lo) / max(1, hi_rows - lo_rows))
+    overhead = max(0.0, lo - per_row * lo_rows)
+    return LatencyModel(overhead_s=overhead, per_row_s=per_row)

@@ -1,0 +1,373 @@
+"""ServingFrontDoor: the synchronous-core request pipeline.
+
+One instance owns the full admission -> batch -> execute -> respond
+dataflow over a shared :class:`~repro.utils.clock.SimulatedClock`:
+
+* :meth:`submit` admits a request (or raises a typed
+  :class:`~repro.serving.request.Overload`) and queues it in the
+  micro-batcher;
+* :meth:`pump` forms due batches and executes them through a
+  :class:`~repro.reliability.guard.ResilientClassifier` — the guard's
+  retry/breaker/fallback machinery is reused unchanged, and the tightest
+  member deadline is propagated into the guard as its per-call budget;
+* every request ends in exactly one :class:`Response`; a request that
+  cannot finish inside its deadline is shed *before* burning backend time,
+  and one that finished late (faults inflated the batch) has its
+  predictions withheld — never silently served late.
+
+The core is deliberately synchronous: batches execute one at a time and
+time only moves on the injected clock, so a traffic trace plus a fault
+seed replays the whole serving history byte-identically (the property the
+chaos harness and its CI soak are built on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.reliability.guard import BreakerState, ResilientClassifier
+from repro.runtime.backends import CPUBackend
+from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan
+from repro.serving.admission import AdmissionController, AdmissionPolicy
+from repro.serving.batching import (
+    BatchPolicy,
+    LatencyModel,
+    MicroBatcher,
+    calibrate_latency_model,
+)
+from repro.serving.request import (
+    Overload,
+    Request,
+    RequestStatus,
+    Response,
+    ServingStats,
+)
+from repro.utils.clock import SimulatedClock
+from repro.utils.validation import check_array_2d
+
+
+class ServingFrontDoor:
+    """Deterministically-schedulable serving pipeline over the runtime seam.
+
+    Parameters
+    ----------
+    guard:
+        The :class:`ResilientClassifier` executing batches (its fallback
+        ladder and breaker state are the degraded-mode machinery).
+    config:
+        Requested run configuration.  ``variant="auto"`` is resolved once
+        through the guard's planner (using ``probe_X`` or the first
+        batch's rows) before any batch executes.
+    clock:
+        The simulated clock the whole pipeline lives on.  Callers (the
+        traffic generator, tests) advance it between submissions;
+        execution advances it by the simulated seconds a batch took.
+    admission, batching:
+        Policies for the edge gate and the micro-batcher.
+    probe_X:
+        Optional query sample for auto-variant resolution and latency
+        model calibration at construction time.
+    observer:
+        Duck-typed observability sink (e.g. :class:`repro.obs.ObsSession`):
+        ``on_response(response)``, ``on_serving_batch(rows, seconds,
+        platform, hedged)`` and ``on_queue_depth(depth)`` fire when present.
+    """
+
+    def __init__(
+        self,
+        guard: ResilientClassifier,
+        config: RunConfig = RunConfig(),
+        clock: Optional[SimulatedClock] = None,
+        admission: AdmissionPolicy = AdmissionPolicy(),
+        batching: BatchPolicy = BatchPolicy(),
+        probe_X: Optional[np.ndarray] = None,
+        observer=None,
+    ):
+        self.guard = guard
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.observer = observer
+        self.stats = ServingStats()
+        self._admission = AdmissionController(admission, now=self.clock.now())
+        self._config = config
+        self._models: Optional[List[Tuple[str, LatencyModel]]] = None
+        self._next_id = 0
+        self._batch_id = 0
+        if config.variant is KernelVariant.AUTO and probe_X is not None:
+            self._resolve_config(np.asarray(probe_X, dtype=np.float32))
+        if probe_X is not None:
+            self._ensure_models(np.asarray(probe_X, dtype=np.float32))
+        self._batcher = MicroBatcher(batching, self._primary_model())
+
+    # ------------------------------------------------------------------
+    # Config / latency-model calibration
+    # ------------------------------------------------------------------
+    def _resolve_config(self, X: np.ndarray) -> None:
+        plan = self.guard.inner.planner.plan(X, self._config)
+        self._config = plan.to_run_config()
+
+    @property
+    def config(self) -> RunConfig:
+        """The (possibly auto-resolved) run configuration."""
+        return self._config
+
+    def _ladder(self) -> List[ExecutionPlan]:
+        return self.guard.ladder_plans(self._config)
+
+    def _ensure_models(self, X: np.ndarray) -> None:
+        """Calibrate one affine latency model per fallback rung.
+
+        Accelerator rungs fit the planner's analytic cost model at two
+        batch sizes; the CPU rung's model comes straight from
+        :meth:`CPUBackend.seconds_for` (exactly linear, zero overhead).
+        """
+        if self._models is not None:
+            return
+        planner = self.guard.inner.planner
+        trees = self.guard.inner.trees
+        models: List[Tuple[str, LatencyModel]] = []
+        memo: Dict[Tuple, object] = {}
+        for plan in self._ladder():
+            if plan.platform == CPU_PLATFORM:
+                models.append(
+                    (
+                        CPU_PLATFORM,
+                        LatencyModel(
+                            overhead_s=0.0,
+                            per_row_s=CPUBackend.seconds_for(1, trees),
+                        ),
+                    )
+                )
+                continue
+            models.append(
+                (
+                    plan.platform,
+                    calibrate_latency_model(
+                        lambda rows, p=plan: planner.estimate(p, X, rows, memo)
+                    ),
+                )
+            )
+        self._models = models
+
+    def _primary_model(self) -> LatencyModel:
+        if self._models is None:
+            # No probe yet: a zero model admits everything; the first
+            # batch's rows calibrate the real one before it executes.
+            return LatencyModel(overhead_s=0.0, per_row_s=0.0)
+        return self._models[0][1]
+
+    def _active_rung(self) -> Tuple[int, str, LatencyModel]:
+        """The shallowest rung whose breaker is not open.
+
+        This is the hedge: when the requested platform's breaker is open,
+        batch formation and deadline predictions run against the rung that
+        will actually serve — the guard's own ladder still does the
+        routing (and its skip counting keeps breaker recovery alive).
+        """
+        assert self._models is not None
+        for depth, (platform, model) in enumerate(self._models):
+            if platform == CPU_PLATFORM:
+                return depth, platform, model
+            breaker = self.guard.breakers[Platform(platform)]
+            if breaker.state is not BreakerState.OPEN:
+                return depth, platform, model
+        return len(self._models) - 1, CPU_PLATFORM, self._models[-1][1]
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        X: np.ndarray,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ) -> Request:
+        """Admit one request (``X``: its feature rows) or raise Overload.
+
+        ``deadline_s`` is relative to the current simulated time; the
+        stored request carries the absolute deadline so every later stage
+        compares against one clock.
+        """
+        X = check_array_2d(X, "X")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        now = self.clock.now()
+        self._admission.admit(tenant, self._batcher.depth, now)
+        self.stats.submitted += 1
+        request = Request(
+            request_id=self._next_id,
+            tenant=tenant,
+            X=np.ascontiguousarray(X, dtype=np.float32),
+            arrival_s=now,
+            deadline_s=None if deadline_s is None else now + deadline_s,
+        )
+        self._next_id += 1
+        self._batcher.add(request)
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, self._batcher.depth
+        )
+        self._note_queue_depth()
+        return request
+
+    def try_submit(
+        self,
+        X: np.ndarray,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ) -> Optional[Request]:
+        """Like :meth:`submit`, but records and swallows the Overload."""
+        try:
+            return self.submit(X, tenant=tenant, deadline_s=deadline_s)
+        except Overload as e:
+            self.stats.note_rejection(e.reason)
+            return None
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._batcher.depth
+
+    def pump(self, force: bool = False) -> List[Response]:
+        """Execute every due batch; returns the completed responses.
+
+        ``force=True`` drains regardless of the coalescing window (the
+        shutdown path).  Shed decisions and executions interleave exactly
+        as the simulated clock dictates, so the response stream is a pure
+        function of (traffic, seeds).
+        """
+        responses: List[Response] = []
+        while self._batcher.depth and (force or self._batcher.due(self.clock.now())):
+            responses.extend(self._run_one_batch())
+        self._note_queue_depth()
+        return responses
+
+    def drain(self) -> List[Response]:
+        """Pump until the queue is empty (coalescing window ignored)."""
+        return self.pump(force=True)
+
+    # ------------------------------------------------------------------
+    def _run_one_batch(self) -> List[Response]:
+        now = self.clock.now()
+        responses: List[Response] = []
+
+        # 1. Queue-expired requests never reach a backend.
+        for req in self._batcher.take_expired(now):
+            responses.append(
+                self._shed(req, RequestStatus.SHED_DEADLINE_QUEUE, now)
+            )
+        if not self._batcher.depth:
+            return responses
+
+        # 2. Calibrate against real rows on the very first batch.
+        if self._models is None:
+            sample = np.concatenate(
+                [r.X for r in list(self._batcher._queue)[:8]]
+            )
+            if self._config.variant is KernelVariant.AUTO:
+                self._resolve_config(sample)
+            self._ensure_models(sample)
+
+        # 3. Hedge: batch against the rung that will actually serve.
+        depth, platform, model = self._active_rung()
+        self._batcher.model = model
+        hedged = depth > 0
+
+        # 4. Form the batch; deadline-infeasible heads are shed.
+        members, predicted_sheds = self._batcher.next_batch(now)
+        for req in predicted_sheds:
+            responses.append(
+                self._shed(req, RequestStatus.SHED_DEADLINE_PREDICTED, now)
+            )
+        if not members:
+            return responses
+
+        # 5. Execute through the guard, propagating the tightest member
+        #    deadline as the per-call budget on simulated device seconds.
+        X = (
+            members[0].X
+            if len(members) == 1
+            else np.concatenate([r.X for r in members])
+        )
+        min_slack = min(r.slack(now) for r in members)
+        saved_deadline = self.guard.deadline_s
+        if min_slack != float("inf"):
+            self.guard.deadline_s = max(min_slack, 1e-12)
+        try:
+            result = self.guard.classify(X, self._config)
+        finally:
+            self.guard.deadline_s = saved_deadline
+        report = result.reliability
+        elapsed = result.seconds + report.backoff_seconds
+        finish = self.clock.advance(elapsed)
+
+        self.stats.batches += 1
+        self.stats.rows_executed += int(X.shape[0])
+        if hedged:
+            self.stats.hedged_batches += 1
+        self._batch_id += 1
+        if self.observer is not None and hasattr(self.observer, "on_serving_batch"):
+            self.observer.on_serving_batch(
+                int(X.shape[0]), elapsed, report.platform_used, hedged
+            )
+
+        # 6. Split the merged predictions back onto the members; a member
+        #    whose deadline passed during execution is NOT served late.
+        lo = 0
+        for req in members:
+            hi = lo + req.rows
+            if req.deadline_s is not None and finish > req.deadline_s:
+                resp = self._shed(
+                    req, RequestStatus.SHED_DEADLINE_LATE, finish
+                )
+                # The batch *did* execute; record where, but withhold the
+                # predictions — a late answer is not an answer.
+                resp.platform_used = report.platform_used
+            else:
+                resp = Response(
+                    request_id=req.request_id,
+                    tenant=req.tenant,
+                    status=RequestStatus.SERVED,
+                    predictions=result.predictions[lo:hi].copy(),
+                    arrival_s=req.arrival_s,
+                    finish_s=finish,
+                    platform_used=report.platform_used,
+                    degraded=report.degraded,
+                    fallback_depth=report.fallback_depth,
+                    hedged=hedged,
+                )
+                self.stats.served += 1
+                if report.degraded:
+                    self.stats.degraded_served += 1
+                self._emit(resp)
+            resp.batch_id = self._batch_id
+            responses.append(resp)
+            lo = hi
+        return responses
+
+    # ------------------------------------------------------------------
+    def _shed(
+        self, req: Request, status: RequestStatus, finish_s: float
+    ) -> Response:
+        self.stats.note_shed(status)
+        resp = Response(
+            request_id=req.request_id,
+            tenant=req.tenant,
+            status=status,
+            predictions=None,
+            arrival_s=req.arrival_s,
+            finish_s=finish_s,
+        )
+        self._emit(resp)
+        return resp
+
+    def _emit(self, response: Response) -> None:
+        if self.observer is not None and hasattr(self.observer, "on_response"):
+            self.observer.on_response(response)
+
+    def _note_queue_depth(self) -> None:
+        if self.observer is not None and hasattr(self.observer, "on_queue_depth"):
+            self.observer.on_queue_depth(self._batcher.depth)

@@ -1,0 +1,174 @@
+"""Deterministic traffic generation for serving experiments.
+
+A :class:`TrafficProfile` plus a seed fully determines an arrival trace:
+inter-arrival gaps are exponential draws from one seeded generator, thinned
+against the profile's instantaneous rate curve, so the same (profile, seed)
+pair always yields the identical list of :class:`Arrival` records.  Three
+rate shapes cover the serving-layer failure modes worth rehearsing:
+
+* ``steady``  — constant rate; the control condition.
+* ``diurnal`` — one sinusoidal "day" across the trace; exercises the
+  token bucket refilling through troughs and saturating at peaks.
+* ``bursty``  — square-wave bursts at ``burst_multiplier``× the base rate;
+  exercises bounded-queue backpressure and deadline sheds.
+
+Multi-tenancy is orthogonal: any profile may carry several tenants with
+weighted traffic shares (the chaos harness uses a greedy tenant to prove
+per-tenant buckets protect the quiet ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request in a generated trace (times in trace-relative seconds)."""
+
+    at_s: float
+    tenant: str
+    rows: int
+    #: Relative deadline to attach at submission (None = no deadline).
+    deadline_s: Optional[float]
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Shape of one synthetic workload.
+
+    ``shape`` selects the rate curve; ``tenants``/``tenant_weights`` split
+    the trace across tenants; ``rows_lo``/``rows_hi`` bound the per-request
+    row count (uniform integer draw); ``deadline_s`` attaches the same
+    relative deadline to every request (None disables deadlines).
+    """
+
+    name: str
+    duration_s: float = 1.0
+    base_qps: float = 200.0
+    shape: str = "steady"  # steady | diurnal | bursty
+    tenants: Tuple[str, ...] = ("default",)
+    tenant_weights: Optional[Tuple[float, ...]] = None
+    rows_lo: int = 1
+    rows_hi: int = 8
+    deadline_s: Optional[float] = None
+    #: bursty shape: a burst starts every ``burst_every_s`` and lasts
+    #: ``burst_len_s`` at ``burst_multiplier`` times the base rate.
+    burst_every_s: float = 0.25
+    burst_len_s: float = 0.05
+    burst_multiplier: float = 8.0
+    #: diurnal shape: rate floor as a fraction of the peak.
+    diurnal_floor: float = 0.2
+
+    def __post_init__(self):
+        if self.shape not in ("steady", "diurnal", "bursty"):
+            raise ValueError(f"unknown traffic shape {self.shape!r}")
+        if self.duration_s <= 0 or self.base_qps <= 0:
+            raise ValueError("duration_s and base_qps must be positive")
+        check_positive_int(self.rows_lo, "rows_lo")
+        check_positive_int(self.rows_hi, "rows_hi")
+        if self.rows_hi < self.rows_lo:
+            raise ValueError("rows_hi must be >= rows_lo")
+        if not self.tenants:
+            raise ValueError("at least one tenant required")
+        if self.tenant_weights is not None and len(self.tenant_weights) != len(
+            self.tenants
+        ):
+            raise ValueError("tenant_weights must match tenants")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if not 0 < self.diurnal_floor <= 1:
+            raise ValueError("diurnal_floor must be in (0, 1]")
+        if self.burst_every_s <= 0 or self.burst_len_s <= 0:
+            raise ValueError("burst timing must be positive")
+        if self.burst_multiplier < 1:
+            raise ValueError("burst_multiplier must be >= 1")
+
+    # ------------------------------------------------------------------
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (requests/second) at trace time ``t``."""
+        if self.shape == "steady":
+            return self.base_qps
+        if self.shape == "diurnal":
+            # One full "day" over the trace; floor..1 × base.
+            phase = 0.5 - 0.5 * math.cos(2.0 * math.pi * t / self.duration_s)
+            return self.base_qps * (
+                self.diurnal_floor + (1.0 - self.diurnal_floor) * phase
+            )
+        in_burst = (t % self.burst_every_s) < self.burst_len_s
+        return self.base_qps * (self.burst_multiplier if in_burst else 1.0)
+
+    @property
+    def peak_qps(self) -> float:
+        if self.shape == "bursty":
+            return self.base_qps * self.burst_multiplier
+        return self.base_qps
+
+
+def generate_trace(profile: TrafficProfile, seed: int = 0) -> List[Arrival]:
+    """Materialise the deterministic arrival list for ``profile``.
+
+    Non-homogeneous Poisson arrivals by thinning: candidate gaps are drawn
+    at the profile's peak rate, then each candidate survives with
+    probability ``rate(t)/peak``.  One seeded generator drives every draw
+    (gaps, thinning, tenant choice, row counts), so the trace is a pure
+    function of ``(profile, seed)``.
+    """
+    rng = as_rng(seed)
+    peak = profile.peak_qps
+    weights = profile.tenant_weights
+    if weights is not None:
+        total = float(sum(weights))
+        probs = [w / total for w in weights]
+    else:
+        probs = None
+    arrivals: List[Arrival] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= profile.duration_s:
+            break
+        if float(rng.random()) * peak > profile.rate_at(t):
+            continue  # thinned out of the inhomogeneous process
+        tenant = profile.tenants[
+            int(rng.choice(len(profile.tenants), p=probs))
+        ]
+        rows = int(rng.integers(profile.rows_lo, profile.rows_hi + 1))
+        arrivals.append(
+            Arrival(
+                at_s=t,
+                tenant=tenant,
+                rows=rows,
+                deadline_s=profile.deadline_s,
+            )
+        )
+    return arrivals
+
+
+#: Canonical profiles the chaos harness (and its CI soak) iterate over.
+PROFILES = {
+    "steady": TrafficProfile(name="steady", shape="steady"),
+    "diurnal": TrafficProfile(
+        name="diurnal", shape="diurnal", base_qps=400.0, deadline_s=0.25
+    ),
+    "bursty": TrafficProfile(
+        name="bursty",
+        shape="bursty",
+        base_qps=150.0,
+        burst_multiplier=10.0,
+        deadline_s=0.1,
+    ),
+    "multi-tenant": TrafficProfile(
+        name="multi-tenant",
+        shape="steady",
+        base_qps=300.0,
+        tenants=("greedy", "quiet-a", "quiet-b"),
+        tenant_weights=(8.0, 1.0, 1.0),
+        deadline_s=0.2,
+    ),
+}

@@ -141,6 +141,7 @@ def all_rules() -> Dict[str, Rule]:
         kernels,
         numeric,
         obs,
+        reliability,
     )
 
     return dict(_REGISTRY)

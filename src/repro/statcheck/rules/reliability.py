@@ -1,0 +1,84 @@
+"""REL rules — fault-handling code may not swallow faults.
+
+The reliability and serving layers exist to *classify* failures: transient
+launch faults retry, integrity faults degrade, deadline faults shed, and
+anything else must surface as a bug.  A bare ``except:`` (or an
+``except Exception:`` whose body is just ``pass``) erases that
+classification — a genuine defect gets recorded as a success and the
+wrong-answer counter the chaos soak gates on stops meaning anything.
+REL001 bans both shapes inside ``repro/serving/`` and
+``repro/reliability/``; handlers there must name the fault types they
+expect and do something with everything else (re-raise, wrap in a typed
+error, or record a typed shed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutils import dotted_name
+from repro.statcheck.core import FileContext, Rule, Violation, register
+
+#: Modules where fault classification is the whole job.
+RELIABILITY_PREFIXES = ("repro/serving/", "repro/reliability/")
+
+#: Catch-all exception classes: catching these with an empty body is
+#: indistinguishable from a bare ``except:``.
+CATCH_ALL = {"Exception", "BaseException"}
+
+
+def _is_catch_all(expr: ast.expr) -> bool:
+    """True if the handler type includes Exception/BaseException."""
+    if isinstance(expr, ast.Tuple):
+        return any(_is_catch_all(e) for e in expr.elts)
+    name = dotted_name(expr)
+    return name in CATCH_ALL or (
+        name is not None and name.split(".")[-1] in CATCH_ALL
+    )
+
+
+def _swallows(body) -> bool:
+    """True if the handler body does nothing with the exception."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
+
+
+@register
+class SwallowedFaultRule(Rule):
+    id = "REL001"
+    summary = (
+        "reliability/serving code may not use bare `except:` or swallow "
+        "catch-all exceptions with `pass`; name the fault types"
+    )
+    path_prefixes = RELIABILITY_PREFIXES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "and erases fault classification; name the expected "
+                    "fault types (TransientKernelError, "
+                    "DeadlineExceededError, LayoutIntegrityError, "
+                    "ExecutionError, ...)",
+                )
+            elif _is_catch_all(node.type) and _swallows(node.body):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "`except Exception: pass` records a genuine defect as "
+                    "a success; re-raise, wrap in a typed error, or count "
+                    "a typed shed instead",
+                )

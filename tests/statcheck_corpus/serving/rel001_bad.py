@@ -1,0 +1,22 @@
+"""BAD: fault-handling code that erases the fault classification."""
+
+
+def serve_batch(guard, X):
+    try:
+        return guard.classify(X)
+    except:  # REL001: bare except swallows SystemExit too
+        return None
+
+
+def pump_once(batcher):
+    try:
+        batcher.flush()
+    except Exception:  # REL001: catch-all with pass body
+        pass
+
+
+def drain(queue):
+    try:
+        queue.pop()
+    except (ValueError, BaseException):  # REL001: tuple hides a catch-all
+        ...

@@ -1,0 +1,20 @@
+"""GOOD: handlers name fault types; catch-alls re-raise or wrap."""
+
+from repro.reliability.faults import TransientKernelError
+from repro.runtime.session import ExecutionError
+
+
+def serve_batch(guard, X, stats):
+    try:
+        return guard.classify(X)
+    except (TransientKernelError, ExecutionError):
+        stats.note_shed("backend-fault")
+        return None
+
+
+def pump_once(batcher, log):
+    try:
+        batcher.flush()
+    except Exception as exc:
+        log.append(repr(exc))
+        raise

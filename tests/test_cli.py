@@ -27,7 +27,9 @@ class TestCLI:
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "table2", "table3",
-            "fault-sweep",  # not a paper artifact: reliability subsystem
+            # Not paper artifacts: reliability / serving subsystems.
+            "fault-sweep",
+            "serving-chaos",
         }
 
     def test_single_experiment_smoke(self, capsys):

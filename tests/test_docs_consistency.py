@@ -65,9 +65,10 @@ class TestReferencedArtifactsExist:
             "fig10": "bench_fig10_gpu_vs_fpga.py",
             "table2": "bench_table2_rsd.py",
             "table3": "bench_table3_fpga.py",
-            # Not a paper artifact; its clean-path cost bound lives in
-            # bench_reliability_overhead.py.
+            # Not paper artifacts; their clean-path cost bounds live in
+            # the reliability/serving overhead benches.
             "fault-sweep": "bench_reliability_overhead.py",
+            "serving-chaos": "bench_serving_chaos.py",
         }
         assert set(mapping) == set(EXPERIMENTS)
         for bench in mapping.values():

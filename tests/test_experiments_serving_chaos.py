@@ -1,0 +1,87 @@
+"""Tests for the serving_chaos experiment: reports, rows, regression gates."""
+
+import copy
+
+import pytest
+
+from repro.experiments import serving_chaos
+from repro.serving import ChaosScenario, TrafficProfile
+
+
+def tiny_scenarios():
+    return [
+        ChaosScenario(
+            name="tiny",
+            traffic_seed=21,
+            fault_seed=22,
+            launch_fail_rate=0.2,
+            custom=TrafficProfile(
+                name="tiny", duration_s=0.1, base_qps=300.0, deadline_s=0.1
+            ),
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return serving_chaos.run_reports("smoke", scenarios=tiny_scenarios())
+
+
+class TestRunReports:
+    def test_report_structure(self, reports):
+        (rep,) = reports
+        assert rep["scenario"] == "tiny"
+        assert rep["correctness"]["wrong_answers"] == 0
+        assert rep["requests"]["offered"] > 0
+        for key in ("requests", "latency_s", "rates", "execution", "by_tenant"):
+            assert key in rep
+
+    def test_seed_offset_changes_the_soak(self):
+        a = serving_chaos.run_reports("smoke", scenarios=tiny_scenarios())
+        b = serving_chaos.run_reports("smoke", seed=1, scenarios=tiny_scenarios())
+        assert a[0]["seeds"] != b[0]["seeds"]
+
+    def test_rows_flatten_one_per_scenario(self, reports):
+        (row,) = serving_chaos.rows_from_reports(reports)
+        assert row["scenario"] == "tiny"
+        assert row["wrong_answers"] == 0
+        assert set(row) >= {
+            "offered",
+            "served",
+            "p99_latency_s",
+            "shed_rate",
+            "degraded_rate",
+            "hedged_batches",
+        }
+        assert serving_chaos.render([row])  # table renders
+
+
+class TestBaselineGates:
+    def test_clean_reports_pass_their_own_baseline(self, reports):
+        assert serving_chaos.check_against_baseline(reports, reports) == []
+
+    def test_wrong_answers_fail_outright(self, reports):
+        bad = copy.deepcopy(reports)
+        bad[0]["correctness"]["wrong_answers"] = 1
+        failures = serving_chaos.check_against_baseline(bad, reports)
+        assert any("wrong answers" in f for f in failures)
+
+    def test_p99_regression_fails(self, reports):
+        slow = copy.deepcopy(reports)
+        slow[0]["latency_s"]["p99"] = (
+            reports[0]["latency_s"]["p99"] * serving_chaos.P99_TOLERANCE * 2
+        )
+        failures = serving_chaos.check_against_baseline(slow, reports)
+        assert any("p99" in f for f in failures)
+
+    def test_shed_regression_fails(self, reports):
+        shedding = copy.deepcopy(reports)
+        shedding[0]["rates"]["shed"] = (
+            reports[0]["rates"]["shed"] + serving_chaos.SHED_TOLERANCE + 0.01
+        )
+        failures = serving_chaos.check_against_baseline(shedding, reports)
+        assert any("shed rate" in f for f in failures)
+
+    def test_missing_baseline_entry_fails(self, reports):
+        failures = serving_chaos.check_against_baseline(reports, [])
+        assert any("no baseline entry" in f for f in failures)

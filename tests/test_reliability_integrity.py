@@ -16,6 +16,7 @@ from repro.reliability.integrity import (
     quorum_size,
     verify_layout_integrity,
 )
+from repro.runtime.session import ExecutionError
 
 
 @pytest.fixture()
@@ -115,8 +116,12 @@ class TestKernelPreLaunchVerification:
         clf.classify(Xte[:64], config)  # clean pass
         layout = clf.layout_for(config)
         layout.value[0] += 1.0
-        with pytest.raises(LayoutIntegrityError):
+        # The session wraps backend failures in a typed ExecutionError
+        # carrying the plan; the integrity failure rides as its cause.
+        with pytest.raises(ExecutionError) as err:
             clf.classify(Xte[:64], config)
+        assert isinstance(err.value.__cause__, LayoutIntegrityError)
+        assert err.value.platform == "gpu"
 
     def test_clean_path_never_verifies(self, trained_small, monkeypatch):
         """The default config must not hash anything per call."""

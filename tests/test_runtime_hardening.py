@@ -1,0 +1,136 @@
+"""Tests for runtime-layer hardening: typed ExecutionError and plan-cache
+corruption handling (warn + evict + re-probe, atomic writes)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.datasets.profiles import make_synthetic_forest
+from repro.reliability.faults import TransientKernelError
+from repro.runtime import (
+    ExecutionError,
+    Planner,
+    RuntimeSession,
+    compile_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    forest, X = make_synthetic_forest(
+        n_trees=5, depth=8, n_features=10, n_queries=256, leaf_prob=0.12, seed=11
+    )
+    return forest, X
+
+
+def failing_gate():
+    raise TransientKernelError("injected launch failure")
+
+
+class TestExecutionError:
+    def test_backend_failure_carries_plan_context(self, workload):
+        forest, X = workload
+        session = RuntimeSession.from_forest(forest)
+        plan = compile_plan(forest, RunConfig(variant=KernelVariant.HYBRID))
+        with pytest.raises(ExecutionError) as err:
+            session.run(plan, X, launch_gate=failing_gate)
+        e = err.value
+        assert e.plan is plan
+        assert e.platform == "gpu"
+        assert e.variant == "hybrid"
+        assert e.shard_index == 0
+        assert e.n_shards == 1
+        assert isinstance(e.__cause__, TransientKernelError)
+        assert "shard 1/1" in str(e)
+        assert "TransientKernelError" in str(e)
+
+    def test_sharded_failure_reports_the_failing_shard(self, workload):
+        forest, X = workload
+        session = RuntimeSession.from_forest(forest)
+        base = compile_plan(forest, RunConfig(variant=KernelVariant.INDEPENDENT))
+        from repro.runtime import ExecutionPlan
+
+        plan = ExecutionPlan(
+            platform=base.platform,
+            variant=base.variant,
+            layout=base.layout,
+            replication=base.replication,
+            batch_split=4,
+        )
+        calls = {"n": 0}
+
+        def fail_on_third():
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise TransientKernelError("third launch dies")
+            return 0.0
+
+        with pytest.raises(ExecutionError) as err:
+            session.run(plan, X, launch_gate=fail_on_third)
+        assert err.value.shard_index == 2
+        assert err.value.n_shards == 4
+        assert "shard 3/4" in str(err.value)
+
+    def test_clean_run_unaffected(self, workload):
+        forest, X = workload
+        session = RuntimeSession.from_forest(forest)
+        plan = compile_plan(forest, RunConfig(variant=KernelVariant.HYBRID))
+        res = session.run(plan, X)
+        assert res.predictions.shape[0] == X.shape[0]
+
+
+class TestPlanCacheHardening:
+    def make_planner(self, forest, tmp_path):
+        session = RuntimeSession.from_forest(forest)
+        return Planner(
+            session, cache_dir=str(tmp_path), probe_queries=64, top_k=1
+        )
+
+    def test_corrupt_entry_warned_evicted_and_retuned(
+        self, workload, tmp_path, capsys
+    ):
+        forest, X = workload
+        planner = self.make_planner(forest, tmp_path)
+        plan = planner.autotune(X, platform=Platform.GPU)
+        path = planner._cache_path(X, Platform.GPU)
+        assert os.path.exists(path)
+
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"version": 1, "plan": {"platfo')  # truncated write
+        replay = self.make_planner(forest, tmp_path)
+        replanned = replay.autotune(X, platform=Platform.GPU)
+        out = capsys.readouterr().out
+        assert "[plan cache] discarding corrupt entry" in out
+        assert replay.stats["cache_evictions"] == 1
+        assert replay.stats["cache_hits"] == 0
+        assert replay.stats["probe_runs"] > 0  # genuinely re-probed
+        assert replanned.to_json() == plan.to_json()  # same deterministic choice
+        # The retune rewrote a healthy entry: next decision is a pure hit.
+        third = self.make_planner(forest, tmp_path)
+        third.autotune(X, platform=Platform.GPU)
+        assert third.stats["cache_hits"] == 1
+
+    def test_missing_plan_key_is_treated_as_corrupt(self, workload, tmp_path):
+        forest, X = workload
+        planner = self.make_planner(forest, tmp_path)
+        path = planner._cache_path(X, Platform.GPU)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"version": 1}, f)  # valid JSON, wrong schema
+        planner.autotune(X, platform=Platform.GPU)
+        assert planner.stats["cache_evictions"] == 1
+        assert not os.path.exists(path) or planner.stats["cache_writes"] == 1
+
+    def test_store_is_atomic_rename(self, workload, tmp_path):
+        forest, X = workload
+        planner = self.make_planner(forest, tmp_path)
+        planner.autotune(X, platform=Platform.GPU)
+        leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+        assert leftovers == []
+        path = planner._cache_path(X, Platform.GPU)
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert "plan" in payload and payload["version"] == 1

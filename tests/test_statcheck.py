@@ -30,6 +30,7 @@ VIRTUAL_DIRS = {
     "general": "src/repro",
     "kernels": "src/repro/kernels",
     "experiments": "src/repro/experiments",
+    "serving": "src/repro/serving",
 }
 
 
