@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint statcheck faults serve-chaos serve-chaos-baseline bench bench-smoke experiments report plan trace obs-diff clean-cache loc
+.PHONY: install test lint statcheck faults serve-chaos serve-chaos-baseline fastpath fastpath-baseline bench bench-smoke experiments report plan trace obs-diff clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -35,6 +35,19 @@ serve-chaos:
 # Regenerate the soak baseline after an intentional serving-layer change.
 serve-chaos-baseline:
 	PYTHONPATH=src python -m repro.experiments.serving_chaos \
+		--scale smoke --write-baseline
+
+# Fastpath perf trajectory (docs/architecture.md §11): golden equivalence
+# suite, then the trace-vs-fastpath bench gated against the checked-in
+# BENCH_fastpath.json (>10% speedup regression or a ratio below the 50x
+# acceptance floor fails).
+fastpath:
+	PYTHONPATH=src python -m pytest tests/test_fastpath.py -q
+	PYTHONPATH=src python benchmarks/bench_fastpath.py --scale smoke --check
+
+# Regenerate the fastpath baseline after an intentional perf change.
+fastpath-baseline:
+	PYTHONPATH=src python benchmarks/bench_fastpath.py \
 		--scale smoke --write-baseline
 
 bench:

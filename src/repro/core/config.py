@@ -9,6 +9,14 @@ from typing import Optional
 from repro.fpgasim.replication import Replication
 from repro.layout.hierarchical import LayoutParams
 
+#: Execution-mode axis (see docs/architecture.md §11).  ``"model"`` runs the
+#: paper's instrumented warp-lockstep kernels so the simulators can count
+#: memory transactions; ``"off"`` runs the vectorized serving fast path
+#: (:mod:`repro.fastpath`) — same predictions, no per-warp accounting.
+TRACE_MODEL = "model"
+TRACE_OFF = "off"
+TRACE_MODES = (TRACE_MODEL, TRACE_OFF)
+
 
 class Platform(str, enum.Enum):
     """Target device of a simulated run."""
@@ -52,6 +60,12 @@ class RunConfig:
         launches (see :mod:`repro.reliability.integrity`).  Off by default
         so the clean path pays nothing beyond the one hash at layout build;
         the reliability guard turns it on per rung.
+    trace:
+        Execution mode (:data:`TRACE_MODEL` or :data:`TRACE_OFF`).
+        ``"model"`` (default, the historical behaviour) executes the
+        instrumented transaction-counting kernels; ``"off"`` executes the
+        vectorized :mod:`repro.fastpath` traversal — bit-identical
+        predictions, serving-grade speed, no device counters.
     """
 
     platform: Platform = Platform.GPU
@@ -59,6 +73,7 @@ class RunConfig:
     layout: LayoutParams = field(default_factory=LayoutParams)
     replication: Replication = field(default_factory=Replication)
     verify_integrity: bool = False
+    trace: str = TRACE_MODEL
 
     def __post_init__(self):
         platform = Platform(self.platform)
@@ -67,6 +82,10 @@ class RunConfig:
         object.__setattr__(self, "variant", variant)
         if platform is Platform.FPGA and variant is KernelVariant.CUML:
             raise ValueError("the cuML baseline exists only on GPU")
+        if self.trace not in TRACE_MODES:
+            raise ValueError(
+                f"trace must be one of {TRACE_MODES}, got {self.trace!r}"
+            )
 
     @property
     def label(self) -> str:
@@ -80,4 +99,6 @@ class RunConfig:
                 parts.append(f"RSD{self.layout.rsd}")
         if self.platform is Platform.FPGA and self.replication.total_cus > 1:
             parts.append(self.replication.label)
+        if self.trace == TRACE_OFF:
+            parts.append("serve")
         return "-".join(parts)

@@ -1,0 +1,259 @@
+"""Fastpath engine: dispatch, the shared traversal core, and the latency model.
+
+All three traversals share one shape: the ``(row, tree)`` cross product is
+flattened into *lanes*, every lane carries a cursor through its tree, and
+the lane arrays are stepped level-synchronously — compacting retired lanes
+out every level — until every lane lands on a leaf.  The loop count is
+bounded by the deepest tree, never by the number of rows — that is what
+makes the fast path scale.
+
+The family modules (:mod:`repro.fastpath.hierpath` /
+:mod:`~repro.fastpath.csrpath` / :mod:`~repro.fastpath.filpath`) do not
+duplicate the stepping loop.  Each lowers its device layout once into a
+flat :class:`EdgeTable` — a successor table ``succ[2 * slot + went_right]``
+precomputed from the layout's own crossing rules (subtree-connection hops,
+CSR children indirection, FIL adjacent children) — and the shared
+:func:`traverse_edges` core then needs exactly four gathers per lane-level:
+node feature, query value, split threshold, successor.  Lanes are
+materialized in row blocks of at most :data:`FASTPATH_CHUNK_LANES` so the
+working set stays cache-resident at any batch size.
+
+Two things deliberately do **not** happen here:
+
+* no wall-clock measurement.  The simulated world must stay byte-replayable
+  (the chaos soak compares whole reports), so the ``seconds`` a fastpath
+  launch reports come from the deterministic analytic model below
+  (:func:`fastpath_seconds`).  Real throughput is measured only by
+  ``benchmarks/bench_fastpath.py`` through the sanctioned
+  :class:`repro.utils.clock.Stopwatch` seam.
+* no per-row / per-warp Python loop.  statcheck's PERF001 bans ``for``
+  statements and comprehensions in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fixed per-launch overhead of the modelled fast path, seconds.  Stands in
+#: for dispatch + argument marshalling; dominates tiny batches.
+FASTPATH_LAUNCH_OVERHEAD_S = 2e-5
+
+#: Modelled cost of advancing one active lane by one level, seconds.  A lane
+#: step is one gather + compare + index update over contiguous arrays —
+#: orders of magnitude below the trace path's per-step accounting.
+FASTPATH_SECONDS_PER_LANE_LEVEL = 2e-10
+
+#: Kernel-variant -> traversal family.  The hierarchical variants all run
+#: over the same packed subtree arrays; CSR and the cuML baseline each have
+#: their own layout and therefore their own traversal.
+FAMILY_BY_VARIANT = {
+    "independent": "hier",
+    "collaborative": "hier",
+    "hybrid": "hier",
+    "csr": "csr",
+    "cuml": "fil",
+}
+
+
+@dataclass(frozen=True)
+class FastpathStats:
+    """What one fastpath launch did (feeds obs + backend details).
+
+    ``lane_levels`` is the total number of active lane-steps executed —
+    the work metric the latency model charges for.  ``frontier_occupancy``
+    is ``lane_levels / (lanes * levels)``: 1.0 means every lane stayed
+    active through every level, lower means lanes retired early (shallow
+    leaves), i.e. how much the frontier compaction saved.
+    """
+
+    family: str
+    rows: int
+    trees: int
+    lanes: int
+    levels: int
+    lane_levels: int
+    frontier_occupancy: float
+
+
+def make_stats(family: str, rows: int, trees: int, levels: int, lane_levels: int) -> FastpathStats:
+    lanes = rows * trees
+    denom = lanes * levels
+    occupancy = (float(lane_levels) / float(denom)) if denom > 0 else 0.0
+    return FastpathStats(
+        family=family,
+        rows=int(rows),
+        trees=int(trees),
+        lanes=int(lanes),
+        levels=int(levels),
+        lane_levels=int(lane_levels),
+        frontier_occupancy=occupancy,
+    )
+
+
+def fastpath_seconds(lane_levels: int) -> float:
+    """Deterministic modelled latency of one fastpath launch."""
+    return FASTPATH_LAUNCH_OVERHEAD_S + float(lane_levels) * FASTPATH_SECONDS_PER_LANE_LEVEL
+
+
+def family_for_variant(variant: str) -> str:
+    """Traversal family serving a kernel variant (KeyError for unknown)."""
+    variant = str(getattr(variant, "value", variant))
+    if variant not in FAMILY_BY_VARIANT:
+        raise KeyError(
+            f"no fastpath family for variant {variant!r}; "
+            f"known: {tuple(sorted(FAMILY_BY_VARIANT))}"
+        )
+    return FAMILY_BY_VARIANT[variant]
+
+
+def supports_variant(variant: str) -> bool:
+    return str(getattr(variant, "value", variant)) in FAMILY_BY_VARIANT
+
+
+#: Upper bound on lanes materialized per traversal block.  Blocks of rows
+#: are traversed to completion one at a time so the per-lane state plus the
+#: block's slice of ``X`` stay cache-resident at any batch size.
+FASTPATH_CHUNK_LANES = 65536
+
+
+@dataclass(frozen=True)
+class EdgeTable:
+    """A device layout lowered to flat successor-table form.
+
+    One entry per node slot, in the layout's own slot numbering:
+
+    * ``feature`` — ``int32``; split feature id, negative on terminals
+      (``LEAF``/``EMPTY``), which makes the retirement test one compare.
+    * ``value`` — ``float32``; split threshold (class label on leaves, read
+      via ``label`` instead).
+    * ``label`` — ``int32``; class label on leaf slots, 0 elsewhere.
+    * ``succ`` — ``int32[2 * slots]``; ``succ[2 * g + went_right]`` is the
+      next slot.  Terminal slots self-loop, so a stale lane can never walk
+      out of bounds.  All layout-specific stepping rules (hierarchical
+      subtree crossings, CSR children indirection, FIL adjacent children)
+      are resolved here, once, at build time.
+    * ``roots`` — ``int32[n_trees]``; each tree's root slot.
+    """
+
+    feature: np.ndarray
+    value: np.ndarray
+    label: np.ndarray
+    succ: np.ndarray
+    roots: np.ndarray
+    n_classes: int
+
+
+def cached_edges(layout, build) -> EdgeTable:
+    """Memoized ``build(layout)`` — the table is derived data, built once.
+
+    Cached on the layout instance itself, so a rebuilt layout (e.g. after
+    an integrity-check failure) naturally gets a fresh table.
+    """
+    table = getattr(layout, "_fastpath_edges", None)
+    if table is None:
+        table = build(layout)
+        layout._fastpath_edges = table
+    return table
+
+
+def traverse_edges(table: EdgeTable, X: np.ndarray):
+    """Run every ``(row, tree)`` lane of ``X`` through the successor table.
+
+    Returns ``(predictions int64[n_rows], levels, lane_levels)``.  The
+    majority vote is bit-identical to ``reference_predict``: per-row class
+    bincount, ties breaking toward the lower label because ``argmax``
+    returns the first maximum.
+
+    ``levels`` is the deepest frontier iteration count of any block (a
+    lane retiring at depth ``d`` is flushed on iteration ``d + 1``, so
+    ``levels <= max_depth + 1``); ``lane_levels`` is the total number of
+    lane-steps executed, the work metric :func:`fastpath_seconds` charges.
+    """
+    X = np.ascontiguousarray(X, dtype=np.float32)
+    n = int(X.shape[0])
+    n_trees = int(table.roots.shape[0])
+    n_classes = int(table.n_classes)
+    # Lane state indexes the flattened query matrix; int32 keeps the hot
+    # arrays half-width unless the batch itself needs 64-bit offsets.
+    idx_dtype = np.int32 if n * X.shape[1] < 2**31 else np.int64
+    n_feat = idx_dtype(X.shape[1])
+    flat_x = X.reshape(-1)
+    feature = table.feature
+    value = table.value
+    label = table.label
+    succ = table.succ
+    n_classes32 = np.int32(n_classes)
+    votes = np.zeros(n * n_classes, dtype=np.int32)
+    block = max(1, FASTPATH_CHUNK_LANES // max(1, n_trees))
+    levels = 0
+    lane_levels = 0
+    start = 0
+    while start < n:
+        stop = min(n, start + block)
+        row_base = idx_dtype(start) * n_feat
+        # Per-lane state: row offset into flat_x plus current slot, lanes in
+        # row-major (row, tree) order.  Retired lanes are compacted away.
+        rx = np.repeat(
+            np.arange(row_base, idx_dtype(stop) * n_feat, n_feat, dtype=idx_dtype),
+            n_trees,
+        )
+        slot = np.tile(table.roots, stop - start)
+        flushed = [np.empty(0, dtype=np.int32)]
+        depth = 0
+        while rx.size:
+            depth += 1
+            lane_levels += int(rx.size)
+            feats = feature[slot]
+            at_leaf = feats < 0
+            if at_leaf.any():
+                flushed.append(
+                    ((rx[at_leaf] - row_base) // n_feat).astype(np.int32) * n_classes32
+                    + label[slot[at_leaf]]
+                )
+                keep = ~at_leaf
+                rx = rx[keep]
+                slot = slot[keep]
+                feats = feats[keep]
+                if not rx.size:
+                    break
+            went_right = flat_x[rx + feats] >= value[slot]
+            slot = succ[slot + slot + went_right]
+        levels = max(levels, depth)
+        counts = np.bincount(
+            np.concatenate(flushed), minlength=(stop - start) * n_classes
+        )
+        votes[start * n_classes : stop * n_classes] += counts.astype(np.int32)
+        start = stop
+    return votes.reshape(n, n_classes).argmax(axis=1), levels, lane_levels
+
+
+def fastpath_predict(layout, X: np.ndarray):
+    """Vectorized batched prediction over a built device layout.
+
+    Dispatches on the layout's family and returns
+    ``(predictions int64[n_rows], FastpathStats)``.  Predictions are
+    bit-identical to the layout's reference ``predict`` and to the trace
+    kernels (pinned by tests/test_fastpath.py).
+    """
+    from repro.layout.csr import CSRForest
+    from repro.layout.hierarchical import HierarchicalForest
+
+    if isinstance(layout, HierarchicalForest):
+        from repro.fastpath.hierpath import traverse as hier_traverse
+
+        return hier_traverse(layout, X)
+    if isinstance(layout, CSRForest):
+        from repro.fastpath.csrpath import traverse as csr_traverse
+
+        return csr_traverse(layout, X)
+    # FILForest lives in repro.baselines.cuml_fil which imports the GPU
+    # kernel machinery; duck-type instead of importing it here.
+    if hasattr(layout, "tree_offset") and hasattr(layout, "left_child"):
+        from repro.fastpath.filpath import traverse as fil_traverse
+
+        return fil_traverse(layout, X)
+    raise TypeError(
+        f"no fastpath traversal for layout type {type(layout).__name__}"
+    )

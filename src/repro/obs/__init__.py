@@ -11,6 +11,7 @@ from the command line.
 from repro.obs.bridges import (
     ObsSession,
     record_eventsim,
+    record_fastpath,
     record_kernel_metrics,
     record_kernel_timing,
     record_layout_footprint,
@@ -45,6 +46,7 @@ from repro.obs.tracer import CounterSample, Instant, Span, Tracer
 __all__ = [
     "ObsSession",
     "record_eventsim",
+    "record_fastpath",
     "record_kernel_metrics",
     "record_kernel_timing",
     "record_layout_footprint",

@@ -157,6 +157,42 @@ def record_plan(registry: MetricsRegistry, plan, **labels) -> None:
         ).set(plan.cost_estimate_s, plan=plan.label, **labels)
 
 
+def record_fastpath(registry: MetricsRegistry, plan, stats, seconds: float,
+                    **labels) -> None:
+    """Ingest one trace-off launch (:class:`repro.fastpath.FastpathStats`)
+    as the ``fastpath.*`` family.
+
+    Trace-off runs have no kernel metrics to bridge, so this family is the
+    only device-side signal they emit — without it a serving fleet on the
+    fast path would produce empty manifests.  ``seconds`` is the launch's
+    deterministic modelled latency, so ``fastpath.rows_per_s`` is replay-
+    stable too.
+    """
+    kw = dict(platform=plan.platform, variant=plan.variant,
+              family=stats.family, **labels)
+    registry.counter(
+        "fastpath.launches", "trace-off launches executed"
+    ).inc(1.0, **kw)
+    registry.counter(
+        "fastpath.rows", "rows classified by the fast path"
+    ).inc(float(stats.rows), **kw)
+    registry.counter(
+        "fastpath.lane_levels", "active lane-level steps executed"
+    ).inc(float(stats.lane_levels), **kw)
+    registry.counter(
+        "fastpath.levels", "frontier levels executed"
+    ).inc(float(stats.levels), **kw)
+    registry.gauge(
+        "fastpath.frontier_occupancy",
+        "active-lane fraction over the last launch's frontier loop",
+    ).set(stats.frontier_occupancy, **kw)
+    if seconds > 0.0:
+        registry.gauge(
+            "fastpath.rows_per_s",
+            "modelled fast-path throughput of the last launch",
+        ).set(stats.rows / seconds, **kw)
+
+
 # ----------------------------------------------------------------------
 # Serving guard
 # ----------------------------------------------------------------------
@@ -362,6 +398,24 @@ class ObsSession:
                 "variant": plan.variant,
                 "source": plan.source,
                 "cost_estimate_s": plan.cost_estimate_s,
+            },
+        )
+
+    # -- fastpath -------------------------------------------------------
+    def on_fastpath(self, plan, stats, seconds: float) -> None:
+        record_fastpath(self.registry, plan, stats, seconds)
+        self.tracer.add_span(
+            "fastpath",
+            f"fastpath[{stats.rows} rows x {stats.trees} trees]",
+            seconds,
+            cat="fastpath",
+            args={
+                "platform": plan.platform,
+                "variant": plan.variant,
+                "family": stats.family,
+                "levels": stats.levels,
+                "lane_levels": stats.lane_levels,
+                "frontier_occupancy": stats.frontier_occupancy,
             },
         )
 

@@ -336,6 +336,7 @@ class ResilientClassifier:
                 layout=config.layout,
                 replication=config.replication,
                 source="ladder",
+                trace=config.trace,
             )
         )
         return plans

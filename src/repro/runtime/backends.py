@@ -21,6 +21,8 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.cpu_reference import reference_predict
+from repro.core.config import TRACE_OFF
+from repro.fastpath import fastpath_predict, fastpath_seconds
 from repro.fpgasim.device import ALVEO_U250, FPGASpec
 from repro.gpusim.device import GPUSpec, TITAN_XP
 from repro.kernels import kernel_for
@@ -84,6 +86,40 @@ def _build_accelerator_layout(trees: Sequence, plan: ExecutionPlan):
     return HierarchicalForest.from_trees(list(trees), plan.layout)
 
 
+def _run_fastpath(plan, layout, X, launch_gate, observer) -> BackendOutput:
+    """Shared trace-off execution for the accelerator backends.
+
+    Mirrors the trace kernels' launch contract — the gate fires first (a
+    fault plan may raise or charge hang seconds), then the optional
+    pre-launch integrity re-verification — but the traversal itself is the
+    vectorized :mod:`repro.fastpath` engine, and the reported ``seconds``
+    come from its deterministic latency model (plus any gate hang), so
+    chaos-soak replays stay byte-identical.
+    """
+    hang_s = 0.0
+    if launch_gate is not None:
+        hang_s = float(launch_gate() or 0.0)
+    if plan.verify_integrity:
+        from repro.reliability.integrity import verify_layout_integrity
+
+        verify_layout_integrity(layout)
+    preds, stats = fastpath_predict(layout, X)
+    seconds = fastpath_seconds(stats.lane_levels) + hang_s
+    if observer is not None and hasattr(observer, "on_fastpath"):
+        observer.on_fastpath(plan, stats, seconds)
+    return BackendOutput(
+        predictions=preds,
+        seconds=seconds,
+        details={
+            "mode": "fastpath",
+            "family": stats.family,
+            "levels_executed": stats.levels,
+            "lane_levels": stats.lane_levels,
+            "frontier_occupancy": stats.frontier_occupancy,
+        },
+    )
+
+
 class GPUBackend(Backend):
     """Simulated-GPU target (:mod:`repro.gpusim`)."""
 
@@ -99,6 +135,8 @@ class GPUBackend(Backend):
         return _build_accelerator_layout(trees, plan)
 
     def run(self, plan, layout, X, launch_gate=None, observer=None) -> BackendOutput:
+        if plan.trace == TRACE_OFF:
+            return _run_fastpath(plan, layout, X, launch_gate, observer)
         kernel = kernel_for("gpu", plan.variant)(
             spec=self.spec,
             launch_gate=launch_gate,
@@ -124,6 +162,10 @@ class FPGABackend(Backend):
         return _build_accelerator_layout(trees, plan)
 
     def run(self, plan, layout, X, launch_gate=None, observer=None) -> BackendOutput:
+        if plan.trace == TRACE_OFF:
+            # Replication is an FPGA device-model concern; the fast path is
+            # host execution of the same layout, so it is ignored here.
+            return _run_fastpath(plan, layout, X, launch_gate, observer)
         kernel = kernel_for("fpga", plan.variant)(
             spec=self.spec,
             launch_gate=launch_gate,

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import TRACE_OFF
 from repro.fpgasim.device import FPGASpec
 from repro.fpgasim.pipeline import derive_ii
 from repro.gpusim.cache import capacity_miss_fraction
@@ -155,6 +156,27 @@ def fpga_plan_cost(
     return cycles / (1.0 - spec.base_stall) / freq_hz
 
 
+def fastpath_plan_cost(
+    plan: ExecutionPlan,
+    profile: WorkloadProfile,
+    n_queries: int,
+) -> float:
+    """Latency estimate of one trace-off (fastpath) plan, seconds.
+
+    The fast path charges per active lane-level; the probe's total node
+    visits *are* the lane-levels a traversal of the probe sample executes
+    (one visit = one lane advanced one level), so scaling by the query
+    ratio gives the expected work directly.  Same constants as
+    :func:`repro.fastpath.fastpath_seconds`, so the estimate and the
+    simulated launch agree by construction.
+    """
+    from repro.fastpath import fastpath_seconds
+
+    scale = n_queries / max(1, profile.probe_queries)
+    lane_levels = profile.visits * scale
+    return fastpath_seconds(lane_levels)
+
+
 def estimate_plan_cost(
     plan: ExecutionPlan,
     profile: WorkloadProfile,
@@ -163,7 +185,9 @@ def estimate_plan_cost(
     gpu_spec: GPUSpec,
     fpga_spec: FPGASpec,
 ) -> float:
-    """Dispatch to the platform's cost model."""
+    """Dispatch to the plan's execution mode / platform cost model."""
+    if plan.trace == TRACE_OFF:
+        return fastpath_plan_cost(plan, profile, n_queries)
     if plan.platform == "gpu":
         return gpu_plan_cost(plan, profile, n_queries, footprint_bytes, gpu_spec)
     if plan.platform == "fpga":

@@ -16,7 +16,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.core.config import (
+    TRACE_MODEL,
+    TRACE_MODES,
+    TRACE_OFF,
+    KernelVariant,
+    Platform,
+    RunConfig,
+)
 from repro.fpgasim.replication import Replication
 from repro.kernels import has_kernel, registered_pairs
 from repro.layout.hierarchical import LayoutParams
@@ -70,6 +77,11 @@ class ExecutionPlan:
     source: str = "explicit"
     #: The analytic cost model's estimate, seconds (None for explicit plans).
     cost_estimate_s: Optional[float] = None
+    #: Execution mode: :data:`~repro.core.config.TRACE_MODEL` runs the
+    #: instrumented transaction-counting kernels, ``"off"`` runs the
+    #: vectorized :mod:`repro.fastpath` traversal (same predictions, no
+    #: per-warp accounting).  See docs/architecture.md §11.
+    trace: str = TRACE_MODEL
 
     def __post_init__(self):
         object.__setattr__(self, "platform", str(getattr(self.platform, "value", self.platform)))
@@ -82,6 +94,10 @@ class ExecutionPlan:
             )
         if self.batch_split < 1:
             raise PlanError(f"batch_split must be >= 1, got {self.batch_split}")
+        if self.trace not in TRACE_MODES:
+            raise PlanError(
+                f"trace must be one of {TRACE_MODES}, got {self.trace!r}"
+            )
         check_pair(self.platform, self.variant)
 
     # ------------------------------------------------------------------
@@ -98,6 +114,8 @@ class ExecutionPlan:
             parts.append(self.replication.label)
         if self.batch_split > 1:
             parts.append(f"x{self.batch_split}")
+        if self.trace == TRACE_OFF:
+            parts.append("serve")
         return "-".join(parts)
 
     def to_run_config(self) -> RunConfig:
@@ -110,6 +128,7 @@ class ExecutionPlan:
             layout=self.layout,
             replication=self.replication,
             verify_integrity=self.verify_integrity,
+            trace=self.trace,
         )
 
     # ------------------------------------------------------------------
@@ -141,6 +160,7 @@ class ExecutionPlan:
             "verify_integrity": bool(self.verify_integrity),
             "source": self.source,
             "cost_estimate_s": self.cost_estimate_s,
+            "trace": self.trace,
         }
 
     def to_json(self) -> str:
@@ -178,6 +198,7 @@ class ExecutionPlan:
                 if data.get("cost_estimate_s") is None
                 else float(data["cost_estimate_s"])
             ),
+            trace=str(data.get("trace", TRACE_MODEL)),
         )
 
     @classmethod

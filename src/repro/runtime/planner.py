@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.core.config import TRACE_MODEL, TRACE_OFF, KernelVariant, Platform, RunConfig
 from repro.fpgasim.replication import FULL_4S12C, HYBRID_SPLIT_4S10C, Replication
 from repro.layout.hierarchical import LayoutParams
 from repro.runtime.cost import (
@@ -89,6 +89,7 @@ def compile_plan(forest, config: RunConfig = RunConfig()) -> ExecutionPlan:
         batch_split=1,
         verify_integrity=config.verify_integrity,
         source="explicit",
+        trace=config.trace,
     )
 
 
@@ -163,15 +164,22 @@ class Planner:
         if config.variant is not KernelVariant.AUTO:
             return compile_plan(None, config)
         return self.autotune(
-            X, platform=config.platform, verify_integrity=config.verify_integrity
+            X,
+            platform=config.platform,
+            verify_integrity=config.verify_integrity,
+            trace=config.trace,
         )
 
     # ------------------------------------------------------------------
-    def candidates(self, platform: Platform) -> List[ExecutionPlan]:
+    def candidates(
+        self, platform: Platform, trace: str = TRACE_MODEL
+    ) -> List[ExecutionPlan]:
         """The deterministic candidate enumeration for one platform.
 
         The cuML baseline is excluded on purpose: it is the comparator the
         paper argues against, not a deployment choice of this system.
+        With ``trace="off"`` every candidate carries the mode, so both the
+        cost model and the probe runs exercise the fast path.
         """
         platform = Platform(platform)
         plans: List[ExecutionPlan] = []
@@ -186,6 +194,7 @@ class Planner:
                     variant=variant,
                     layout=layout,
                     replication=repl,
+                    trace=trace,
                 )
             )
 
@@ -258,11 +267,12 @@ class Planner:
         X: np.ndarray,
         platform: Platform = Platform.GPU,
         verify_integrity: bool = False,
+        trace: str = TRACE_MODEL,
     ) -> ExecutionPlan:
         """Pick the cheapest plan for this (forest, workload, platform)."""
         platform = Platform(platform)
         X = np.ascontiguousarray(X, dtype=np.float32)
-        cache_path = self._cache_path(X, platform)
+        cache_path = self._cache_path(X, platform, trace)
         cached = self._load_cached(cache_path)
         if cached is not None:
             self.stats["cache_hits"] += 1
@@ -275,7 +285,7 @@ class Planner:
         memo: Dict[Tuple, WorkloadProfile] = {}
         scored = [
             (self.estimate(plan, probe, n_queries, memo), plan.to_json(), plan)
-            for plan in self.candidates(platform)
+            for plan in self.candidates(platform, trace)
         ]
         scored.sort(key=lambda item: (item[0], item[1]))
         finalists = scored[: max(1, self.top_k)]
@@ -296,6 +306,7 @@ class Planner:
             batch_split=best.batch_split,
             source="autotuned",
             cost_estimate_s=best_cost,
+            trace=best.trace,
         )
         self._store_cached(cache_path, chosen)
         plan = self._finalize(chosen, verify_integrity, source="autotuned")
@@ -315,6 +326,7 @@ class Planner:
             verify_integrity=verify_integrity,
             source=source,
             cost_estimate_s=plan.cost_estimate_s,
+            trace=plan.trace,
         )
 
     def _notify(self, plan: ExecutionPlan) -> None:
@@ -324,12 +336,18 @@ class Planner:
     # ------------------------------------------------------------------
     # Plan cache
     # ------------------------------------------------------------------
-    def _cache_path(self, X: np.ndarray, platform: Platform) -> str:
+    def _cache_path(
+        self, X: np.ndarray, platform: Platform, trace: str = TRACE_MODEL
+    ) -> str:
         root = self.cache_dir or default_plan_cache_dir()
         fp = forest_fingerprint(self.session.trees)
         nq, nf, xcrc = dataset_profile(X)
+        # Trace-off decisions rank by a different cost model, so they get
+        # their own cache namespace; model-mode filenames are unchanged and
+        # pre-existing cache entries keep replaying.
+        mode = "_serve" if trace == TRACE_OFF else ""
         name = (
-            f"plan_{platform.value}_f{fp:08x}_q{nq}_d{nf}_x{xcrc:08x}"
+            f"plan_{platform.value}{mode}_f{fp:08x}_q{nq}_d{nf}_x{xcrc:08x}"
             f"_p{self.probe_queries}_s{self.seed}.json"
         )
         return os.path.join(root, name)

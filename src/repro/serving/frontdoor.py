@@ -23,11 +23,12 @@ chaos harness and its CI soak are built on).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.core.config import TRACE_OFF, KernelVariant, Platform, RunConfig
 from repro.reliability.guard import BreakerState, ResilientClassifier
 from repro.runtime.backends import CPUBackend
 from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan
@@ -70,6 +71,12 @@ class ServingFrontDoor:
     probe_X:
         Optional query sample for auto-variant resolution and latency
         model calibration at construction time.
+    trace:
+        Execution mode every served batch runs in.  Defaults to
+        :data:`~repro.core.config.TRACE_OFF` — serving runs the vectorized
+        fast path; the transaction-counting model mode is opt-in
+        (``trace="model"``) for profiling traffic.  Overrides whatever
+        ``config`` carries.
     observer:
         Duck-typed observability sink (e.g. :class:`repro.obs.ObsSession`):
         ``on_response(response)``, ``on_serving_batch(rows, seconds,
@@ -84,6 +91,7 @@ class ServingFrontDoor:
         admission: AdmissionPolicy = AdmissionPolicy(),
         batching: BatchPolicy = BatchPolicy(),
         probe_X: Optional[np.ndarray] = None,
+        trace: str = TRACE_OFF,
         observer=None,
     ):
         self.guard = guard
@@ -91,7 +99,7 @@ class ServingFrontDoor:
         self.observer = observer
         self.stats = ServingStats()
         self._admission = AdmissionController(admission, now=self.clock.now())
-        self._config = config
+        self._config = replace(config, trace=trace)
         self._models: Optional[List[Tuple[str, LatencyModel]]] = None
         self._next_id = 0
         self._batch_id = 0

@@ -141,6 +141,7 @@ def all_rules() -> Dict[str, Rule]:
         kernels,
         numeric,
         obs,
+        perf,
         reliability,
     )
 

@@ -33,7 +33,14 @@ DTYPE_REQUIRED = {
 }
 
 #: Packages where a float64 upcast silently doubles simulated footprints.
-FLOAT32_PACKAGES = ("repro/kernels/", "repro/gpusim/", "repro/layout/")
+#: repro/fastpath traverses the same float32 layouts, so it is held to the
+#: same discipline (an upcast there would also copy every node buffer).
+FLOAT32_PACKAGES = (
+    "repro/kernels/",
+    "repro/gpusim/",
+    "repro/layout/",
+    "repro/fastpath/",
+)
 
 SAVERS = {"numpy.savez", "numpy.savez_compressed", "numpy.save"}
 

@@ -1,0 +1,66 @@
+"""PERF rules — the fast path must stay vectorized.
+
+:mod:`repro.fastpath` exists because per-row / per-warp Python loops are
+what make the trace kernels orders of magnitude too slow to serve.  The
+fast path's whole contract is "no Python-level iteration over data":
+traversals are level-synchronous ``while`` loops over compact NumPy index
+arrays, bounded by tree depth, never by batch size.  PERF001 enforces
+that structurally — any ``for`` statement (or comprehension/generator,
+which is the same loop wearing sugar) in a ``repro/fastpath`` module is a
+regression that silently reintroduces O(rows) interpreter time.  Scalar
+iteration that is genuinely bounded by a constant (e.g. a fixed retry
+count) should live outside this package; depth-bounded stepping uses
+``while`` with array compaction, which the rule permits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.core import FileContext, Rule, Violation, register
+
+#: The vectorization-contract package.
+FASTPATH_PREFIXES = ("repro/fastpath/",)
+
+#: Statement/expression forms that iterate in the interpreter.
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+_LOOP_LABEL = {
+    ast.For: "`for` loop",
+    ast.AsyncFor: "`async for` loop",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+
+@register
+class PythonLoopInFastpathRule(Rule):
+    id = "PERF001"
+    summary = (
+        "repro/fastpath modules may not use Python `for` loops or "
+        "comprehensions; traversal must be array-oriented (while + "
+        "gather/where over compact index arrays)"
+    )
+    path_prefixes = FASTPATH_PREFIXES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, _LOOP_NODES):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"{_LOOP_LABEL[type(node)]} in a fastpath module "
+                    "iterates per element in the interpreter; express it "
+                    "as a vectorized NumPy operation (or a "
+                    "depth-bounded `while` over a compacted index array)",
+                )

@@ -1,0 +1,15 @@
+"""BAD: per-row / per-tree Python iteration inside a fastpath module."""
+
+import numpy as np
+
+
+def predict_rows(trees, X):
+    out = np.zeros(X.shape[0], dtype=np.int64)
+    for i in range(X.shape[0]):  # PERF001: per-row interpreter loop
+        votes = [t.predict_one(X[i]) for t in trees]  # PERF001: comprehension
+        out[i] = max(set(votes), key=votes.count)
+    return out
+
+
+def lane_levels_total(stats_list):
+    return sum(s.lane_levels for s in stats_list)  # PERF001: generator

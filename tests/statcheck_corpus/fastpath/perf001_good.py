@@ -1,0 +1,19 @@
+"""GOOD: level-synchronous while loop over a compacted index array."""
+
+import numpy as np
+
+
+def step_lanes(feature_id, value, X, rows):
+    cur = np.zeros(rows.shape[0], dtype=np.int64)
+    labels = np.full(rows.shape[0], -1, dtype=np.int64)
+    active = np.arange(rows.shape[0], dtype=np.int64)
+    while active.size:
+        g = cur[active]
+        feats = feature_id[g].astype(np.int64)
+        leaf = feats == -1
+        done = active[leaf]
+        labels[done] = value[g[leaf]].astype(np.int64)
+        active = active[~leaf]
+        go_left = X[rows[active], feats[~leaf]] < value[cur[active]]
+        cur[active] = 2 * cur[active] + np.where(go_left, 1, 2)
+    return labels

@@ -31,6 +31,7 @@ VIRTUAL_DIRS = {
     "kernels": "src/repro/kernels",
     "experiments": "src/repro/experiments",
     "serving": "src/repro/serving",
+    "fastpath": "src/repro/fastpath",
 }
 
 
