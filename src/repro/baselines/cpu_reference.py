@@ -24,7 +24,7 @@ def reference_votes(trees: Sequence[DecisionTree], X: np.ndarray) -> np.ndarray:
     X = check_array_2d(X, "X")
     n_classes = max(t.n_classes for t in trees)
     votes = np.zeros((X.shape[0], n_classes), dtype=np.int64)
-    rows = np.arange(X.shape[0])
+    rows = np.arange(X.shape[0], dtype=np.int64)
     for tree in trees:
         votes[rows, tree.predict(X)] += 1
     return votes

@@ -122,7 +122,7 @@ class FILForest:
         cur = np.zeros(n, dtype=np.int64)
         out = np.full(n, -1, dtype=np.int64)
         active = np.ones(n, dtype=bool)
-        rows = np.arange(n)
+        rows = np.arange(n, dtype=np.int64)
         while np.any(active):
             g = base + cur[active]
             feats = self.feature[g]

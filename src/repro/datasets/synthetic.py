@@ -70,7 +70,15 @@ def make_teacher_tree(
     # Stack entries: (node, depth, bias, cdf_lo, cdf_hi) where the cdf bounds
     # track the remaining probability box per informative feature.
     root = add_node(0)
-    stack = [(root, 0, 0.0, np.zeros(n_informative), np.ones(n_informative))]
+    stack = [
+        (
+            root,
+            0,
+            0.0,
+            np.zeros(n_informative, dtype=np.float64),
+            np.ones(n_informative, dtype=np.float64),
+        )
+    ]
     while stack:
         node, d, bias, lo, hi = stack.pop()
         stop = d >= depth or (d >= min_depth and rng.random() > branch_prob)

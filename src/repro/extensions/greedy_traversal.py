@@ -74,7 +74,7 @@ class GPUGreedyKernel(GPUIndependentKernel):
             # Lane state: which query a lane currently holds (-1 = drained).
             lane_q = np.full(n_lanes, -1, dtype=np.int64)
             first = min(n, n_lanes)
-            lane_q[:first] = np.arange(first)
+            lane_q[:first] = np.arange(first, dtype=np.int64)
             next_q = first
             st = np.zeros(n_lanes, dtype=np.int64)
             st[:] = layout.tree_root_subtree[t]

@@ -44,7 +44,7 @@ def root_path_signature(
     sig = np.zeros(n, dtype=np.int64)
     node = np.zeros(n, dtype=np.int64)
     alive = np.ones(n, dtype=bool)
-    rows = np.arange(n)
+    rows = np.arange(n, dtype=np.int64)
     for level in range(depth):
         feats = tree.feature[node]
         inner = alive & (feats != LEAF)

@@ -69,7 +69,9 @@ def kmeans(
             members = points[labels == c]
             if members.shape[0] == 0:
                 # Reseed an empty cluster at the worst-fit point.
-                worst = int(d2[np.arange(len(labels)), labels].argmax())
+                worst = int(
+                    d2[np.arange(len(labels), dtype=np.int64), labels].argmax()
+                )
                 centroids[c] = points[worst]
             else:
                 centroids[c] = members.mean(axis=0)

@@ -364,7 +364,7 @@ class TreeBuilder:
                 if change.size == 0:
                     continue
                 onehot = np.zeros((idx.size, n_classes), dtype=np.float64)
-                onehot[np.arange(idx.size), sy] = 1.0
+                onehot[np.arange(idx.size, dtype=np.int64), sy] = 1.0
                 cum = np.cumsum(onehot, axis=0)
                 left_counts = cum[change]
                 gains = _gini_gain_from_counts(left_counts, total)

@@ -66,7 +66,7 @@ def oob_votes(
         raise ValueError("one bootstrap index set per tree required")
     n = X.shape[0]
     votes = np.zeros((n, n_classes), dtype=np.int64)
-    rows = np.arange(n)
+    rows = np.arange(n, dtype=np.int64)
     for tree, idx in zip(trees, bootstrap_indices):
         in_bag = np.zeros(n, dtype=bool)
         in_bag[np.asarray(idx)] = True

@@ -62,7 +62,7 @@ def truncate_depth(tree: DecisionTree, max_depth: int) -> DecisionTree:
 
     keep = tree.depth <= max_depth
     new_id = np.full(tree.n_nodes, -1, dtype=np.int64)
-    new_id[keep] = np.arange(int(keep.sum()))
+    new_id[keep] = np.arange(int(keep.sum()), dtype=np.int64)
 
     feature = tree.feature[keep].copy()
     threshold = tree.threshold[keep].copy()

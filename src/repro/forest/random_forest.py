@@ -130,7 +130,7 @@ class RandomForestClassifier:
                 f"X has {X.shape[1]} features, forest expects {self.n_features_}"
             )
         votes = np.zeros((X.shape[0], self.n_classes_), dtype=np.int64)
-        rows = np.arange(X.shape[0])
+        rows = np.arange(X.shape[0], dtype=np.int64)
         for tree in self.trees_:
             votes[rows, tree.predict(X)] += 1
         return votes

@@ -178,7 +178,7 @@ class DecisionTree:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
         cur = np.zeros(X.shape[0], dtype=np.int64)
         active = self.feature[cur] != LEAF
-        rows = np.arange(X.shape[0])
+        rows = np.arange(X.shape[0], dtype=np.int64)
         while np.any(active):
             idx = cur[active]
             feats = self.feature[idx]

@@ -129,7 +129,7 @@ class CSRForest:
         cbase = self.tree_children_offset[tree]
         cur = np.zeros(X.shape[0], dtype=np.int64)  # tree-local node ids
         out = np.full(X.shape[0], -1, dtype=np.int64)
-        rows = np.arange(X.shape[0])
+        rows = np.arange(X.shape[0], dtype=np.int64)
         active = np.ones(X.shape[0], dtype=bool)
         while np.any(active):
             g = base + cur[active]
@@ -152,7 +152,7 @@ class CSRForest:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Majority vote over all trees (reference semantics)."""
         votes = np.zeros((X.shape[0], self.n_classes), dtype=np.int64)
-        rows = np.arange(X.shape[0])
+        rows = np.arange(X.shape[0], dtype=np.int64)
         for t in range(self.n_trees):
             votes[rows, self.predict_tree(X, t)] += 1
         return votes.argmax(axis=1)

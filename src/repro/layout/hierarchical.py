@@ -267,7 +267,7 @@ class HierarchicalForest:
         local = np.zeros(n, dtype=np.int64)
         out = np.full(n, -1, dtype=np.int64)
         active = np.ones(n, dtype=bool)
-        rows = np.arange(n)
+        rows = np.arange(n, dtype=np.int64)
         while np.any(active):
             g = self.subtree_node_offset[st[active]] + local[active]
             feats = self.feature_id[g]
@@ -308,7 +308,7 @@ class HierarchicalForest:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Majority vote over all trees (reference semantics)."""
         votes = np.zeros((X.shape[0], self.n_classes), dtype=np.int64)
-        rows = np.arange(X.shape[0])
+        rows = np.arange(X.shape[0], dtype=np.int64)
         for t in range(self.n_trees):
             votes[rows, self.predict_tree(X, t)] += 1
         return votes.argmax(axis=1)

@@ -29,7 +29,9 @@ def _safe_spearman(values: Sequence[float]) -> float:
     arr = np.asarray(values, dtype=np.float64)
     if arr.size < 2 or np.all(arr == arr[0]):
         return 0.0
-    return float(spearmanr(np.arange(arr.size), arr).statistic)
+    return float(
+        spearmanr(np.arange(arr.size, dtype=np.int64), arr).statistic
+    )
 
 
 def _depth_curve(rows: Sequence[dict], dataset: str) -> List[float]:

@@ -39,7 +39,15 @@ def load_baseline(path: str) -> Dict[str, int]:
     return {str(k): int(v) for k, v in counts.items()}
 
 
-def write_baseline(path: str, violations: List[Violation]) -> None:
+def write_baseline(path: str, violations: List[Violation]) -> bool:
+    """Write the baseline for ``violations``; returns True if a file was
+    written.  An empty debt set *deletes* the baseline instead of leaving a
+    zero-entry file around — no baseline is the steady state, and its
+    absence makes "we are clean" visible in the tree."""
+    if not violations:
+        if os.path.exists(path):
+            os.remove(path)
+        return False
     payload = {
         "version": 1,
         "note": (
@@ -53,6 +61,7 @@ def write_baseline(path: str, violations: List[Violation]) -> None:
     with open(path, "w", encoding="utf-8") as f:
         json.dump(payload, f, indent=1)
         f.write("\n")
+    return True
 
 
 @dataclass

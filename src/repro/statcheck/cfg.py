@@ -1,0 +1,281 @@
+"""Intraprocedural control-flow graphs and reaching definitions.
+
+The flow analyses (:mod:`repro.statcheck.dataflow`) need join points to be
+joins: a variable assigned ``np.float32`` on one branch and ``np.float64``
+on the other must reach the merge as *both*, not whichever branch the
+walker visited last.  This module builds a conventional basic-block CFG
+over a function body and runs the classic reaching-definitions worklist
+over it; the generic abstract interpreter reuses the same graph and
+worklist for arbitrary lattices.
+
+Supported control flow: ``if``/``elif``/``else``, ``while``/``for`` (+
+``else``), ``break``/``continue``, ``return``/``raise``, ``with`` and
+``try``/``except``/``finally`` (approximated: handlers join the body, as
+any statement in the body may raise — sound for a may-analysis), ``match``
+(every case is a branch).  Nested function/class definitions are treated
+as opaque single statements — their bodies get their own CFGs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class Block:
+    """A straight-line run of simple statements."""
+
+    id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+    def add_succ(self, other: int) -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+
+class CFG:
+    """Basic-block graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.entry = self._new().id
+        self.exit = self._new().id
+
+    def _new(self) -> Block:
+        b = Block(id=len(self.blocks))
+        self.blocks[b.id] = b
+        return b
+
+    def preds(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for b in self.blocks.values():
+            for s in b.succs:
+                out[s].append(b.id)
+        return out
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from the entry (loop-friendly iteration order)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            bid, i = stack[-1]
+            succs = self.blocks[bid].succs
+            if i < len(succs):
+                stack[-1] = (bid, i + 1)
+                nxt = succs[i]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(bid)
+                stack.pop()
+        order.reverse()
+        return order
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (break targets, continue targets) stack for enclosing loops.
+        self._loops: List[Tuple[int, int]] = []
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        cur = self.cfg.blocks[self.cfg.entry]
+        end = self._stmts(body, cur)
+        if end is not None:
+            end.add_succ(self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _stmts(self, body: List[ast.stmt], cur: Optional[Block]) -> Optional[Block]:
+        """Thread ``body`` onto ``cur``; returns the open end block (None
+        if control never falls through, e.g. after a return)."""
+        for stmt in body:
+            if cur is None:
+                # Unreachable code still gets analyzed in its own island so
+                # rules can flag it; it simply has no predecessors.
+                cur = self.cfg._new()
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            cur.stmts.append(stmt)  # the test belongs to the current block
+            join = self.cfg._new()
+            then = self.cfg._new()
+            cur.add_succ(then.id)
+            end = self._stmts(stmt.body, then)
+            if end is not None:
+                end.add_succ(join.id)
+            if stmt.orelse:
+                els = self.cfg._new()
+                cur.add_succ(els.id)
+                end = self._stmts(stmt.orelse, els)
+                if end is not None:
+                    end.add_succ(join.id)
+            else:
+                cur.add_succ(join.id)
+            return join
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self.cfg._new()
+            cur.add_succ(head.id)
+            head.stmts.append(stmt)  # test / iter+target evaluate at the head
+            body = self.cfg._new()
+            after = self.cfg._new()
+            head.add_succ(body.id)
+            head.add_succ(after.id)
+            self._loops.append((after.id, head.id))
+            end = self._stmts(stmt.body, body)
+            self._loops.pop()
+            if end is not None:
+                end.add_succ(head.id)
+            if stmt.orelse:
+                els = self.cfg._new()
+                head.add_succ(els.id)
+                end = self._stmts(stmt.orelse, els)
+                if end is not None:
+                    end.add_succ(after.id)
+            return after
+        if isinstance(stmt, ast.Try):
+            body = self.cfg._new()
+            cur.add_succ(body.id)
+            end = self._stmts(stmt.body, body)
+            join = self.cfg._new()
+            if end is not None:
+                end.add_succ(join.id)
+            for handler in stmt.handlers:
+                h = self.cfg._new()
+                # Any statement of the body may raise: the handler's entry
+                # joins the state at the *start* of the try body.
+                body.add_succ(h.id)
+                if end is not None:
+                    end.add_succ(h.id)
+                hend = self._stmts(handler.body, h)
+                if hend is not None:
+                    hend.add_succ(join.id)
+            if stmt.orelse:
+                els = self.cfg._new()
+                if end is not None:
+                    end.add_succ(els.id)
+                eend = self._stmts(stmt.orelse, els)
+                if eend is not None:
+                    eend.add_succ(join.id)
+            if stmt.finalbody:
+                return self._stmts(stmt.finalbody, join)
+            return join
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cur.stmts.append(stmt)  # context expressions evaluate here
+            return self._stmts(stmt.body, cur)
+        if isinstance(stmt, ast.Match):
+            cur.stmts.append(stmt)
+            join = self.cfg._new()
+            for case in stmt.cases:
+                arm = self.cfg._new()
+                cur.add_succ(arm.id)
+                end = self._stmts(case.body, arm)
+                if end is not None:
+                    end.add_succ(join.id)
+            cur.add_succ(join.id)  # no case may match
+            return join
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cur.stmts.append(stmt)
+            cur.add_succ(self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                cur.add_succ(self._loops[-1][0])
+                return None
+            return cur
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                cur.add_succ(self._loops[-1][1])
+                return None
+            return cur
+        # Simple statement (incl. nested defs, treated as opaque).
+        cur.stmts.append(stmt)
+        return cur
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of a FunctionDef/AsyncFunctionDef body."""
+    return _Builder().build(list(fn.body))
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+#: A definition site: (variable name, line, col).
+Def = Tuple[str, int, int]
+
+
+def _defs_of_stmt(stmt: ast.stmt) -> List[Def]:
+    """Name definitions a statement makes (targets of assignments, loop
+    variables, with-as names, aug-assign targets)."""
+    out: List[Def] = []
+
+    def targets(node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            out.append((node.id, node.lineno, node.col_offset))
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                targets(elt)
+        elif isinstance(node, ast.Starred):
+            targets(node.value)
+
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            targets(t)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        if stmt.target is not None:
+            targets(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets(item.optional_vars)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.append((stmt.name, stmt.lineno, stmt.col_offset))
+    # Walrus targets anywhere in the statement's expressions.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr):
+            targets(node.target)
+    return out
+
+
+def reaching_definitions(cfg: CFG) -> Dict[int, Dict[str, Set[Def]]]:
+    """Classic may-reach analysis: block id -> {name -> def sites} at entry."""
+    gen: Dict[int, Dict[str, Set[Def]]] = {}
+    for bid, block in cfg.blocks.items():
+        g: Dict[str, Set[Def]] = {}
+        for stmt in block.stmts:
+            for d in _defs_of_stmt(stmt):
+                g[d[0]] = {d}  # later defs in the block kill earlier ones
+        gen[bid] = g
+
+    entry_state: Dict[int, Dict[str, Set[Def]]] = {
+        bid: {} for bid in cfg.blocks
+    }
+    preds = cfg.preds()
+    order = cfg.rpo()
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            merged: Dict[str, Set[Def]] = {}
+            for p in preds[bid]:
+                out_p = dict(entry_state[p])
+                for name, defs in gen[p].items():
+                    out_p[name] = defs
+                for name, defs in out_p.items():
+                    merged.setdefault(name, set()).update(defs)
+            if merged != entry_state[bid]:
+                entry_state[bid] = merged
+                changed = True
+    return entry_state

@@ -8,10 +8,11 @@ Design notes
   start at ``repro/`` (so ``src/repro/kernels/base.py`` and a test fixture
   checked with ``virtual_path="src/repro/kernels/x.py"`` scope the same
   way).  Rules declare path prefixes over that key.
-* Suppressions: ``# statcheck: disable=RULE[,RULE]`` (or ``disable=all``)
-  on the violation's first physical line silences it; a
-  ``# statcheck: disable-file=RULE`` line anywhere silences the rule for
-  the whole file.  Suppression comments should say *why*.
+* Suppressions: a ``disable=RULE[,RULE]`` comment (prefixed with the
+  checker's name, or ``disable=all``) on the violation's first physical
+  line silences it; the ``disable-file=RULE`` form anywhere silences the
+  rule for the whole file.  Suppression comments should say *why*, and
+  ones that silence nothing are themselves flagged (SUP001).
 """
 
 from __future__ import annotations
@@ -23,12 +24,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.statcheck.astutils import build_alias_map
+from repro.statcheck.project import ModuleInfo, Project, single_file_project
 
 #: Pseudo-rule id used for files that fail to parse.
 PARSE_RULE = "PARSE"
 
+#: Pseudo-rule id for suppression comments that silenced nothing.
+UNUSED_SUPPRESSION_RULE = "SUP001"
+
 # Rule lists stop at the first token that is not a rule id / comma, so a
-# trailing justification ("# statcheck: disable=API001 <why>") is allowed.
+# trailing justification after the rule list is allowed (and encouraged).
 _RULE_LIST = r"(all|[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
 _SUPPRESS_RE = re.compile(r"#\s*statcheck:\s*disable=" + _RULE_LIST)
 _SUPPRESS_FILE_RE = re.compile(r"#\s*statcheck:\s*disable-file=" + _RULE_LIST)
@@ -43,6 +48,8 @@ class Violation:
     col: int
     rule_id: str
     message: str
+    #: Optional mechanical fix (compare=False keeps frozen-equality by site).
+    fix: Optional[object] = field(default=None, compare=False)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
@@ -54,21 +61,36 @@ class Violation:
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
+            "fixable": self.fix is not None,
         }
 
 
 @dataclass
 class FileContext:
-    """Everything a rule needs to know about one file."""
+    """Everything a rule needs to know about one file.
+
+    ``project`` is the whole-program view (v2): every file of the run,
+    parsed and indexed, so flow-based rules can follow calls across module
+    boundaries.  Per-file entry points fall back to a single-file project,
+    which keeps same-module interprocedural analysis working.
+    """
 
     path: str
     tree: ast.Module
     lines: List[str]
     aliases: Dict[str, str] = field(default_factory=dict)
+    project: Optional[Project] = None
 
     @property
     def module_key(self) -> str:
         return module_key(self.path)
+
+    @property
+    def module_info(self) -> Optional[ModuleInfo]:
+        """This file's entry in the project (None only if it never parsed)."""
+        if self.project is None:
+            return None
+        return self.project.modules.get(self.module_key)
 
     def violation(self, node: ast.AST, rule_id: str, message: str) -> Violation:
         return Violation(
@@ -143,6 +165,7 @@ def all_rules() -> Dict[str, Rule]:
         obs,
         perf,
         reliability,
+        serving,
     )
 
     return dict(_REGISTRY)
@@ -158,29 +181,74 @@ def _parse_rule_list(raw: str) -> Optional[set]:
     return {part.strip() for part in raw.split(",") if part.strip()}
 
 
-def _suppressed(lines: List[str], v: Violation, file_wide: Dict[str, bool]) -> bool:
-    if file_wide.get(v.rule_id) or file_wide.get("all"):
-        return True
-    if 1 <= v.line <= len(lines):
-        m = _SUPPRESS_RE.search(lines[v.line - 1])
-        if m:
-            rules = _parse_rule_list(m.group(1))
-            return rules is None or v.rule_id in rules
-    return False
+@dataclass
+class _Suppression:
+    """One suppression comment, with usage tracking for SUP001."""
+
+    line: int
+    col: int
+    rules: Optional[set]  # None = all
+    file_wide: bool
+    used: bool = False
+
+    def covers(self, rule_id: str) -> bool:
+        return self.rules is None or rule_id in self.rules
 
 
-def _file_wide_suppressions(lines: List[str]) -> Dict[str, bool]:
-    out: Dict[str, bool] = {}
-    for line in lines:
-        m = _SUPPRESS_FILE_RE.search(line)
-        if m:
-            rules = _parse_rule_list(m.group(1))
-            if rules is None:
-                out["all"] = True
-            else:
-                for r in rules:
-                    out[r] = True
-    return out
+class SuppressionTable:
+    """Every ``# statcheck: disable[-file]=`` comment in one file.
+
+    ``check_source`` consults it per violation; suppressions that silenced
+    nothing become :data:`UNUSED_SUPPRESSION_RULE` (SUP001) violations —
+    a suppression that no longer fires is debt rotting in place.
+    """
+
+    def __init__(self, lines: List[str]):
+        self.entries: List[_Suppression] = []
+        for i, line in enumerate(lines, start=1):
+            m = _SUPPRESS_FILE_RE.search(line)
+            if m:
+                self.entries.append(
+                    _Suppression(i, m.start(), _parse_rule_list(m.group(1)), True)
+                )
+                continue
+            m = _SUPPRESS_RE.search(line)
+            if m:
+                self.entries.append(
+                    _Suppression(i, m.start(), _parse_rule_list(m.group(1)), False)
+                )
+
+    def suppressed(self, v: Violation) -> bool:
+        hit = False
+        for s in self.entries:
+            if not s.covers(v.rule_id):
+                continue
+            # A dead waiver must not waive its own unused-warning via
+            # ``disable=all``; silencing SUP001 takes naming it.
+            if v.rule_id == UNUSED_SUPPRESSION_RULE and s.rules is None:
+                continue
+            if s.file_wide or s.line == v.line:
+                s.used = True
+                hit = True
+        return hit
+
+    def unused(self, path: str) -> Iterator[Violation]:
+        for s in self.entries:
+            if s.used:
+                continue
+            scope = "disable-file" if s.file_wide else "disable"
+            what = "all rules" if s.rules is None else ",".join(sorted(s.rules))
+            yield Violation(
+                path=path,
+                line=s.line,
+                col=s.col,
+                rule_id=UNUSED_SUPPRESSION_RULE,
+                message=(
+                    f"unused suppression ({scope}={what}): it no longer "
+                    "silences any violation — delete the comment so dead "
+                    "waivers cannot hide future regressions"
+                ),
+            )
 
 
 # ----------------------------------------------------------------------
@@ -190,8 +258,14 @@ def check_source(
     source: str,
     path: str,
     rules: Optional[Iterable[Rule]] = None,
+    project: Optional[Project] = None,
 ) -> List[Violation]:
-    """Check one source string; ``path`` drives rule scoping and reports."""
+    """Check one source string; ``path`` drives rule scoping and reports.
+
+    ``project`` supplies the whole-program view.  Without one, a
+    single-file project is built so interprocedural rules still follow
+    same-module helper chains.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as e:
@@ -204,12 +278,31 @@ def check_source(
                 message=f"file does not parse: {e.msg}",
             )
         ]
-    lines = source.splitlines()
-    ctx = FileContext(path=path, tree=tree, lines=lines, aliases=build_alias_map(tree))
-    file_wide = _file_wide_suppressions(lines)
+    key = module_key(path)
+    if project is None:
+        project = single_file_project(source, path, key)
+    elif key not in project.modules:
+        project.add_source(source, path, key)
+    mod = project.modules.get(key)
+    if mod is not None:
+        # Share the project's parse: rules mix whole-file AST walks with
+        # project-indexed FunctionInfo nodes, and node-identity lookups
+        # (call-site exemptions, enclosing-function maps) require both
+        # views to be the *same* tree.
+        tree, lines, aliases = mod.tree, mod.lines, mod.aliases
+    else:
+        lines = source.splitlines()
+        aliases = build_alias_map(tree)
+    ctx = FileContext(
+        path=path,
+        tree=tree,
+        lines=lines,
+        aliases=aliases,
+        project=project,
+    )
+    suppressions = SuppressionTable(lines)
     if rules is None:
         rules = all_rules().values()
-    key = ctx.module_key
     out: List[Violation] = []
     seen = set()
     for rule in rules:
@@ -222,8 +315,11 @@ def check_source(
             if loc in seen:
                 continue
             seen.add(loc)
-            if not _suppressed(lines, v, file_wide):
+            if not suppressions.suppressed(v):
                 out.append(v)
+    for v in suppressions.unused(path):
+        if not suppressions.suppressed(v):
+            out.append(v)
     out.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return out
 
@@ -232,6 +328,7 @@ def check_file(
     path: str,
     virtual_path: Optional[str] = None,
     rules: Optional[Iterable[Rule]] = None,
+    project: Optional[Project] = None,
 ) -> List[Violation]:
     """Check one file on disk.
 
@@ -240,7 +337,7 @@ def check_file(
     """
     with open(path, encoding="utf-8") as f:
         source = f.read()
-    return check_source(source, virtual_path or path, rules=rules)
+    return check_source(source, virtual_path or path, rules=rules, project=project)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
@@ -257,12 +354,28 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
             yield path
 
 
+def build_project(files: Sequence[str]) -> Project:
+    """Parse ``files`` into one whole-program :class:`Project`."""
+    project = Project()
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                source = f.read()
+        except OSError:
+            continue
+        project.add_source(source, path, module_key(path))
+    return project
+
+
 def check_paths(
     paths: Sequence[str],
     rules: Optional[Iterable[Rule]] = None,
 ) -> List[Violation]:
-    """Check every python file under ``paths`` (files or directories)."""
+    """Check every python file under ``paths`` (files or directories),
+    sharing one whole-program project across all of them."""
+    files = list(iter_python_files(paths))
+    project = build_project(files)
     out: List[Violation] = []
-    for f in iter_python_files(paths):
-        out.extend(check_file(f, rules=rules))
+    for f in files:
+        out.extend(check_file(f, rules=rules, project=project))
     return out

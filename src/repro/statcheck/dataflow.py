@@ -1,0 +1,497 @@
+"""Generic provenance dataflow over the CFG, with function summaries.
+
+The framework is a forward abstract interpretation parameterized by a
+*domain* (:class:`Domain`).  Abstract values (:class:`AV`) are powersets:
+
+* ``tags`` — domain facts about the value (``"arr:f64"``, ``"rng:unseeded"``);
+* ``params`` — indices of the enclosing function's parameters the value
+  may flow from.  Parameter indices are what make summaries compositional:
+  a function analyzed once with parameter ``i`` bound to ``AV(params={i})``
+  yields a return value whose ``params`` say exactly which arguments flow
+  to the result, so a call site can substitute actual argument values
+  without re-analyzing the callee.
+
+Joins happen at CFG merge points (both branches of an ``if`` reach the
+join), loops iterate to a fixpoint, and per-statement entry states are
+recorded on a final stable pass so rules can ask "what did ``x`` hold when
+this call executed?".
+
+Interprocedural flow goes through :func:`summarize`: a
+:class:`Summary` carries the joined return value plus domain-specific
+``facts`` (e.g. "this function samples from parameter 0"), memoised on the
+:class:`~repro.statcheck.project.Project` and guarded against call cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.statcheck.astutils import resolved_name
+from repro.statcheck.cfg import build_cfg
+from repro.statcheck.project import (
+    MAX_CALL_DEPTH,
+    FunctionInfo,
+    Project,
+)
+
+
+@dataclass(frozen=True)
+class AV:
+    """Abstract value: a set of domain tags + possible parameter origins."""
+
+    tags: frozenset = frozenset()
+    params: frozenset = frozenset()
+
+    def join(self, other: "AV") -> "AV":
+        if not other.tags and not other.params:
+            return self
+        if not self.tags and not self.params:
+            return other
+        return AV(self.tags | other.tags, self.params | other.params)
+
+    def has(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def __bool__(self) -> bool:
+        return bool(self.tags or self.params)
+
+
+EMPTY = AV()
+
+
+def join_all(values) -> AV:
+    out = EMPTY
+    for v in values:
+        out = out.join(v)
+    return out
+
+
+@dataclass
+class Summary:
+    """Interprocedural summary of one function under one domain."""
+
+    ret: AV = EMPTY
+    #: Domain-specific facts, e.g. {"samples_params": frozenset({0})}.
+    facts: Dict[str, object] = field(default_factory=dict)
+
+
+class Domain:
+    """Abstract-domain hooks.  Subclasses override what they care about.
+
+    All hooks receive the running :class:`FunctionAnalysis` so they can
+    record findings (``analysis.finding(...)``) and caller facts
+    (``analysis.facts``).
+    """
+
+    name: str = "domain"
+
+    def name_value(self, dotted: str) -> AV:
+        """Abstract value of a resolved dotted name (``numpy.float32``)."""
+        return EMPTY
+
+    def constant_value(self, node: ast.Constant) -> AV:
+        return EMPTY
+
+    def call_value(
+        self,
+        call: ast.Call,
+        dotted: Optional[str],
+        args: List[AV],
+        kwargs: Dict[str, AV],
+        analysis: "FunctionAnalysis",
+    ) -> AV:
+        """Value of a call that did not resolve to a project function."""
+        return EMPTY
+
+    def method_value(
+        self,
+        call: ast.Call,
+        recv: AV,
+        attr: str,
+        args: List[AV],
+        kwargs: Dict[str, AV],
+        analysis: "FunctionAnalysis",
+    ) -> AV:
+        """Value of ``recv.attr(...)`` where ``recv`` evaluated to ``recv``."""
+        return EMPTY
+
+    def project_call_value(
+        self,
+        call: ast.Call,
+        callee: FunctionInfo,
+        summary: Summary,
+        args: List[AV],
+        kwargs: Dict[str, AV],
+        analysis: "FunctionAnalysis",
+    ) -> AV:
+        """Value of a call to a project function; default substitutes the
+        summary's parameter deps with the actual argument values."""
+        return substitute(summary.ret, bind_args(callee, args, kwargs))
+
+    def binop_value(self, node: ast.BinOp, left: AV, right: AV) -> AV:
+        return EMPTY
+
+    def element_value(self, container: AV) -> AV:
+        """Value of one element of an iterated/subscripted container.
+        Provenance tags flow through containers by default."""
+        return container
+
+    def collect_facts(self, analysis: "FunctionAnalysis") -> Dict[str, object]:
+        """Facts for this function's summary, after its analysis ran."""
+        return dict(analysis.facts)
+
+
+def bind_args(
+    callee: FunctionInfo, args: List[AV], kwargs: Dict[str, AV]
+) -> Dict[int, AV]:
+    """Map callee parameter index -> actual argument abstract value."""
+    names = callee.param_names
+    offset = 0
+    if names and names[0] in ("self", "cls"):
+        offset = 1
+    bound: Dict[int, AV] = {}
+    for i, av in enumerate(args):
+        idx = i + offset
+        if idx < len(names):
+            bound[idx] = av
+    for kw, av in kwargs.items():
+        if kw in names:
+            bound[names.index(kw)] = av
+    return bound
+
+
+def substitute(value: AV, bound: Dict[int, AV]) -> AV:
+    """Replace parameter origins in ``value`` with actual argument values."""
+    out = AV(value.tags, frozenset())
+    for idx in value.params:
+        out = out.join(bound.get(idx, EMPTY))
+    return out
+
+
+class FunctionAnalysis:
+    """Forward abstract interpretation of one function body."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        project: Project,
+        domain: Domain,
+        depth: int = 0,
+    ):
+        self.fn = fn
+        self.project = project
+        self.domain = domain
+        self.depth = depth
+        self.module = fn.module
+        self.aliases = fn.module.aliases
+        #: (node, message-context) findings recorded by domain hooks.
+        self.findings: List[Tuple[ast.AST, str]] = []
+        #: Domain facts about this function (feeds its summary).
+        self.facts: Dict[str, object] = {}
+        self.return_value: AV = EMPTY
+        #: id(stmt) -> entry environment, from the final stable pass.
+        self._state_before: Dict[int, Dict[str, AV]] = {}
+        self._const_stack: set = set()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> "FunctionAnalysis":
+        if self._ran:
+            return self
+        self._ran = True
+        cfg = build_cfg(self.fn.node)
+        init = self._initial_env()
+        entry_env: Dict[int, Dict[str, AV]] = {bid: {} for bid in cfg.blocks}
+        entry_env[cfg.entry] = dict(init)
+        preds = cfg.preds()
+        order = cfg.rpo()
+
+        def transfer_block(bid: int, record: bool) -> Dict[str, AV]:
+            env = dict(entry_env[bid])
+            for stmt in cfg.blocks[bid].stmts:
+                if record:
+                    self._state_before[id(stmt)] = dict(env)
+                self._transfer(stmt, env, observe=record)
+            return env
+
+        changed = True
+        iters = 0
+        while changed and iters < 50:
+            iters += 1
+            changed = False
+            for bid in order:
+                if bid == cfg.entry:
+                    merged = dict(init)
+                else:
+                    merged = {}
+                for p in preds[bid]:
+                    out_p = transfer_block(p, record=False)
+                    for name, av in out_p.items():
+                        merged[name] = merged.get(name, EMPTY).join(av)
+                if bid == cfg.entry:
+                    for name, av in init.items():
+                        merged[name] = merged.get(name, EMPTY).join(av)
+                if merged != entry_env[bid]:
+                    entry_env[bid] = merged
+                    changed = True
+        # Stable: one recording pass for findings and per-stmt states.
+        for bid in order:
+            transfer_block(bid, record=True)
+        return self
+
+    def _initial_env(self) -> Dict[str, AV]:
+        env: Dict[str, AV] = {}
+        names = self.fn.param_names
+        for i, name in enumerate(names):
+            if name in ("self", "cls") and i == 0:
+                continue
+            env[name] = AV(params=frozenset({i}))
+        return env
+
+    # ------------------------------------------------------------------
+    def env_at(self, stmt: ast.stmt) -> Dict[str, AV]:
+        """Entry environment of a recorded statement ({} if unreached)."""
+        return self._state_before.get(id(stmt), {})
+
+    def finding(self, node: ast.AST, context: str = "") -> None:
+        """Record a finding (only on the stable recording pass, so fixpoint
+        iterations cannot duplicate reports)."""
+        if self.observing:
+            self.findings.append((node, context))
+
+    # ------------------------------------------------------------------
+    # Transfer
+    # ------------------------------------------------------------------
+    def _transfer(self, stmt: ast.stmt, env: Dict[str, AV], observe: bool) -> None:
+        self._observe = observe
+        if isinstance(stmt, ast.Assign):
+            val = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, val, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                val = self.eval(stmt.value, env)
+                self._bind(stmt.target, stmt.value, val, env)
+        elif isinstance(stmt, ast.AugAssign):
+            val = self.eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                prev = env.get(stmt.target.id, EMPTY)
+                env[stmt.target.id] = prev.join(val)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_value = self.return_value.join(
+                    self.eval(stmt.value, env)
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            it = self.eval(stmt.iter, env)
+            self._bind(stmt.target, None, self.domain.element_value(it), env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                val = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, None, val, env)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject, env)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self.eval(sub, env)
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    env.pop(t.id, None)
+
+    def _bind(
+        self,
+        target: ast.AST,
+        value_expr: Optional[ast.AST],
+        value: AV,
+        env: Dict[str, AV],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # a, b = x, y maps element-wise when the RHS is a literal tuple.
+            if isinstance(value_expr, (ast.Tuple, ast.List)) and len(
+                value_expr.elts
+            ) == len(target.elts):
+                for t, e in zip(target.elts, value_expr.elts):
+                    self._bind(t, e, self.eval(e, env), env)
+            else:
+                elem = self.domain.element_value(value)
+                for t in target.elts:
+                    self._bind(t, None, elem, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, None, value, env)
+        # Subscript/attribute targets are opaque stores.
+
+    # ------------------------------------------------------------------
+    # Abstract evaluation
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.AST, env: Dict[str, AV]) -> AV:
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.aliases:
+                return self.domain.name_value(self.aliases[node.id])
+            const = self.module.constants.get(node.id)
+            if const is not None and node.id not in self._const_stack:
+                self._const_stack.add(node.id)
+                try:
+                    return self.eval(const, {})
+                finally:
+                    self._const_stack.discard(node.id)
+            return self.domain.name_value(node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = resolved_name(node, self.aliases)
+            if dotted is not None:
+                av = self.domain.name_value(dotted)
+                if av:
+                    return av
+            self.eval(node.value, env)  # side effects only; attrs are opaque
+            return EMPTY
+        if isinstance(node, ast.Constant):
+            return self.domain.constant_value(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.NamedExpr):
+            val = self.eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = val
+            return val
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.eval(node.body, env).join(self.eval(node.orelse, env))
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self.domain.binop_value(node, left, right)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value, env)
+            self.eval(node.slice, env)
+            return self.domain.element_value(base)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left, env)
+            for c in node.comparators:
+                self.eval(c, env)
+            return EMPTY
+        if isinstance(node, ast.BoolOp):
+            return join_all(self.eval(v, env) for v in node.values)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return join_all(self.eval(e, env) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            return join_all(
+                self.eval(v, env) for v in node.values if v is not None
+            )
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            return EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            # Comprehensions: evaluate iterables; the element provenance of
+            # the produced container joins the element expression under a
+            # best-effort env extension with the comprehension targets.
+            inner = dict(env)
+            for gen in node.generators:
+                it = self.eval(gen.iter, env)
+                self._bind(gen.target, None, self.domain.element_value(it), inner)
+            return self.eval(node.elt, inner)
+        if isinstance(node, ast.DictComp):
+            inner = dict(env)
+            for gen in node.generators:
+                it = self.eval(gen.iter, env)
+                self._bind(gen.target, None, self.domain.element_value(it), inner)
+            return self.eval(node.value, inner)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        return EMPTY
+
+    def _eval_call(self, call: ast.Call, env: Dict[str, AV]) -> AV:
+        args = [self.eval(a, env) for a in call.args]
+        kwargs = {
+            kw.arg: self.eval(kw.value, env)
+            for kw in call.keywords
+            if kw.arg is not None
+        }
+        for kw in call.keywords:
+            if kw.arg is None:
+                self.eval(kw.value, env)
+
+        # 1. Project function?
+        enclosing = self.fn if self.fn.node is not None else None
+        callee = self.project.resolve_call(call, self.module, enclosing=enclosing)
+        if callee is not None and callee.node is not self.fn.node:
+            if self.depth < MAX_CALL_DEPTH:
+                summary = summarize(self.project, self.domain, callee,
+                                    depth=self.depth + 1)
+            else:
+                summary = Summary()
+            return self.domain.project_call_value(
+                call, callee, summary, args, kwargs, self
+            )
+
+        # 2. Method call on an evaluated receiver?
+        if isinstance(call.func, ast.Attribute):
+            dotted = resolved_name(call.func, self.aliases)
+            if dotted is not None:
+                av = self.domain.call_value(call, dotted, args, kwargs, self)
+                if av:
+                    return av
+            recv = self.eval(call.func.value, env)
+            return self.domain.method_value(
+                call, recv, call.func.attr, args, kwargs, self
+            )
+
+        # 3. Plain named call.
+        dotted = None
+        if isinstance(call.func, ast.Name):
+            dotted = self.aliases.get(call.func.id, call.func.id)
+        else:
+            self.eval(call.func, env)
+        return self.domain.call_value(call, dotted, args, kwargs, self)
+
+    @property
+    def observing(self) -> bool:
+        """True on the final stable pass — domains should only record
+        findings then, so fixpoint iterations do not duplicate them."""
+        return getattr(self, "_observe", False)
+
+
+def analyze_function(
+    fn: FunctionInfo, project: Project, domain: Domain
+) -> FunctionAnalysis:
+    """Run (and return) the analysis of one function."""
+    return FunctionAnalysis(fn, project, domain).run()
+
+
+def summarize(
+    project: Project, domain: Domain, fn: FunctionInfo, depth: int = 0
+) -> Summary:
+    """Memoised interprocedural summary of ``fn`` under ``domain``."""
+    cached = project.summary_cached(domain.name, fn)
+    if cached is not None:
+        return cached
+    if not project.summary_begin(domain.name, fn):
+        return Summary()  # call cycle: unknown
+    try:
+        analysis = FunctionAnalysis(fn, project, domain, depth=depth).run()
+        summary = Summary(
+            ret=analysis.return_value,
+            facts=domain.collect_facts(analysis),
+        )
+    finally:
+        project.summary_end(domain.name, fn)
+    project.summary_store(domain.name, fn, summary)
+    return summary

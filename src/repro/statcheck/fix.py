@@ -1,0 +1,236 @@
+"""Mechanical autofixes for a subset of statcheck rules (``--fix``).
+
+Fixes are conservative text edits computed *from reported violations* —
+anything suppressed, baselined or scope-exempt is never touched.  Two
+families are currently fixable:
+
+* **NUM001** — insert an explicit ``dtype=`` into the flagged constructor:
+  ``arange`` gets the index dtype (``int64``), value constructors get
+  ``float32`` inside the float32 packages and ``float64`` elsewhere.  The
+  spelling follows the file's own numpy alias (``np.int64``) and falls
+  back to the string form (``dtype="int64"``) when numpy has no alias.
+* **DET002 (default_rng form)** — rewrite ``np.random.default_rng(...)``
+  to ``as_rng(...)`` and add the ``from repro.utils.rng import as_rng``
+  import if the file does not already have it.
+
+Every edit is single-line and position-anchored; edits apply bottom-up so
+earlier offsets stay valid.  The caller re-checks after fixing — a fix
+that merely *moves* a violation will honestly show up again.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.statcheck.astutils import build_alias_map, call_name, has_keyword
+from repro.statcheck.core import Violation, module_key
+
+#: Rules --fix knows how to repair.
+FIXABLE_RULES = ("NUM001", "DET002")
+
+_INDEX_CONSTRUCTORS = {"numpy.arange"}
+_VALUE_CONSTRUCTORS = {"numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full"}
+
+_FLOAT32_PACKAGES = (
+    "repro/kernels/",
+    "repro/gpusim/",
+    "repro/layout/",
+    "repro/fastpath/",
+)
+
+_RNG_IMPORT = "from repro.utils.rng import as_rng"
+
+
+@dataclass(frozen=True)
+class TextEdit:
+    """Replace ``[col, end_col)`` of 1-based ``line`` with ``replacement``."""
+
+    line: int
+    col: int
+    end_col: int
+    replacement: str
+    note: str
+
+
+def _numpy_alias(aliases: Dict[str, str]) -> Optional[str]:
+    for alias, target in aliases.items():
+        if target == "numpy":
+            return alias
+    return None
+
+
+def _dtype_spelling(code: str, aliases: Dict[str, str]) -> str:
+    np_alias = _numpy_alias(aliases)
+    if np_alias is not None:
+        return f"{np_alias}.{code}"
+    return f'"{code}"'
+
+
+def _call_at(tree: ast.Module, line: int, col: int) -> Optional[ast.Call]:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and node.lineno == line
+            and node.col_offset == col
+        ):
+            return node
+    return None
+
+
+def _attr_at(tree: ast.Module, line: int, col: int) -> Optional[ast.Attribute]:
+    best: Optional[ast.Attribute] = None
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.lineno == line
+            and node.col_offset == col
+            and node.end_lineno == line
+        ):
+            # Outermost chain node at this anchor (longest span) wins.
+            if best is None or node.end_col_offset > best.end_col_offset:
+                best = node
+    return best
+
+
+def _num001_edit(
+    tree: ast.Module,
+    lines: List[str],
+    aliases: Dict[str, str],
+    key: str,
+    v: Violation,
+) -> Optional[TextEdit]:
+    call = _call_at(tree, v.line, v.col)
+    if call is None or has_keyword(call, "dtype"):
+        return None
+    name = call_name(call, aliases)
+    if name in _INDEX_CONSTRUCTORS:
+        code = "int64"
+    elif name in _VALUE_CONSTRUCTORS:
+        code = (
+            "float32"
+            if any(key.startswith(p) for p in _FLOAT32_PACKAGES)
+            else "float64"
+        )
+    else:
+        return None
+    end_line, end_col = call.end_lineno, call.end_col_offset
+    if end_line > len(lines) or lines[end_line - 1][end_col - 1 : end_col] != ")":
+        return None
+    spelled = _dtype_spelling(code, aliases)
+    prefix = lines[end_line - 1][:end_col - 1].rstrip()
+    sep = "" if prefix.endswith((",", "(")) else ", "
+    return TextEdit(
+        line=end_line,
+        col=end_col - 1,
+        end_col=end_col - 1,
+        replacement=f"{sep}dtype={spelled}",
+        note=f"{v.path}:{v.line}: NUM001 → dtype={spelled}",
+    )
+
+
+def _det002_edit(
+    tree: ast.Module, lines: List[str], v: Violation
+) -> Optional[TextEdit]:
+    if "default_rng" not in v.message:
+        return None
+    attr = _attr_at(tree, v.line, v.col)
+    if attr is None or attr.attr != "default_rng":
+        return None
+    return TextEdit(
+        line=v.line,
+        col=attr.col_offset,
+        end_col=attr.end_col_offset,
+        replacement="as_rng",
+        note=f"{v.path}:{v.line}: DET002 → as_rng",
+    )
+
+
+def _import_insert_line(tree: ast.Module) -> int:
+    """1-based line *after which* to insert a new import."""
+    last = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last = max(last, node.end_lineno or node.lineno)
+        elif last:
+            break
+        elif isinstance(node, ast.Expr) and isinstance(
+            node.value, ast.Constant
+        ):
+            last = node.end_lineno or node.lineno  # module docstring
+    return last
+
+
+def fix_source(
+    source: str, path: str, violations: List[Violation]
+) -> Tuple[str, List[str]]:
+    """Apply every computable fix for ``violations``; returns the new
+    source and human-readable notes for what changed."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, []
+    aliases = build_alias_map(tree)
+    key = module_key(path)
+    lines = source.splitlines(keepends=True)
+    bare = [ln.rstrip("\n") for ln in lines]
+
+    edits: List[TextEdit] = []
+    needs_rng_import = False
+    for v in violations:
+        if v.path != path:
+            continue
+        edit = None
+        if v.rule_id == "NUM001":
+            edit = _num001_edit(tree, bare, aliases, key, v)
+        elif v.rule_id == "DET002":
+            edit = _det002_edit(tree, bare, v)
+            if edit is not None and "as_rng" not in aliases:
+                needs_rng_import = True
+        if edit is not None:
+            edits.append(edit)
+
+    if not edits:
+        return source, []
+
+    # Bottom-up, right-to-left: earlier offsets stay valid.
+    notes = [e.note for e in sorted(edits, key=lambda e: (e.line, e.col))]
+    for e in sorted(edits, key=lambda e: (e.line, e.col), reverse=True):
+        row = lines[e.line - 1]
+        lines[e.line - 1] = row[: e.col] + e.replacement + row[e.end_col :]
+
+    if needs_rng_import:
+        at = _import_insert_line(tree)
+        lines.insert(at, _RNG_IMPORT + "\n")
+        notes.append(f"{path}: added `{_RNG_IMPORT}`")
+    return "".join(lines), notes
+
+
+def fix_files(
+    violations: List[Violation],
+    real_paths: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    """Group ``violations`` by file, rewrite each file in place.
+
+    ``real_paths`` maps reported (possibly virtual) paths to on-disk
+    paths; identity when omitted.  Returns the collected fix notes.
+    """
+    by_path: Dict[str, List[Violation]] = {}
+    for v in violations:
+        if v.rule_id in FIXABLE_RULES:
+            by_path.setdefault(v.path, []).append(v)
+    notes: List[str] = []
+    for path, group in sorted(by_path.items()):
+        disk = (real_paths or {}).get(path, path)
+        try:
+            with open(disk, encoding="utf-8") as f:
+                source = f.read()
+        except OSError:
+            continue
+        fixed, file_notes = fix_source(source, path, group)
+        if fixed != source:
+            with open(disk, "w", encoding="utf-8") as f:
+                f.write(fixed)
+            notes.extend(file_notes)
+    return notes

@@ -1,0 +1,146 @@
+"""Changed-files mode (``--incremental``): re-analyze only what can differ.
+
+The cache (JSON, default ``.statcheck-cache.json``) records per file: a
+content hash, the project-internal modules it imported, and the
+violations of its last clean analysis.  On the next run:
+
+1. every file is still *parsed* (the whole-program :class:`Project` is the
+   substrate of the flow rules and parsing is ~100x cheaper than
+   analysis);
+2. a file is **dirty** if its hash changed, it is new, or the cache
+   predates the current rule selection;
+3. dirtiness propagates along *reverse import edges* — an interprocedural
+   finding in ``caller.py`` can change when ``helper.py`` does, so every
+   transitive dependent of a dirty module re-analyzes too;
+4. clean files replay their cached violations verbatim.
+
+The summary cache inside the Project is per-run and shared, so a helper
+re-analyzed for one dirty dependent serves all of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.statcheck.core import (
+    Violation,
+    build_project,
+    check_source,
+    iter_python_files,
+    module_key,
+)
+
+CACHE_VERSION = 2
+DEFAULT_CACHE = ".statcheck-cache.json"
+
+
+def _hash_source(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _rules_signature(rules) -> str:
+    ids = sorted(r.id for r in rules) if rules is not None else ["<all>"]
+    return ",".join(ids)
+
+
+@dataclass
+class IncrementalResult:
+    violations: List[Violation] = field(default_factory=list)
+    #: Files actually re-analyzed this run (dirty + dependents).
+    analyzed: List[str] = field(default_factory=list)
+    #: Files whose cached results were replayed.
+    reused: List[str] = field(default_factory=list)
+
+
+def load_cache(path: str) -> Dict[str, object]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return {}
+    if data.get("version") != CACHE_VERSION:
+        return {}
+    return data
+
+
+def _violations_from_cache(entries: Iterable[dict]) -> List[Violation]:
+    out = []
+    for e in entries:
+        out.append(
+            Violation(
+                path=str(e["path"]),
+                line=int(e["line"]),
+                col=int(e["col"]),
+                rule_id=str(e["rule"]),
+                message=str(e["message"]),
+            )
+        )
+    return out
+
+
+def run_incremental(
+    paths: Sequence[str],
+    cache_path: str = DEFAULT_CACHE,
+    rules=None,
+) -> IncrementalResult:
+    """Check ``paths``, reusing the cache at ``cache_path`` and updating it."""
+    files = list(iter_python_files(paths))
+    sources: Dict[str, str] = {}
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                sources[f] = fh.read()
+        except OSError:
+            continue
+
+    project = build_project(list(sources))
+    cache = load_cache(cache_path)
+    cached_files: Dict[str, dict] = dict(cache.get("files", {}))
+    sig = _rules_signature(rules)
+    stale_rules = cache.get("rules") != sig
+
+    hashes = {f: _hash_source(src) for f, src in sources.items()}
+    dirty: Set[str] = set()
+    for f in sources:
+        entry = cached_files.get(f)
+        if stale_rules or entry is None or entry.get("hash") != hashes[f]:
+            dirty.add(f)
+
+    # Propagate along reverse import edges: a dirty helper re-analyzes its
+    # (transitive) dependents even though their text is unchanged.
+    key_to_file = {module_key(f): f for f in sources}
+    dirty_keys = {module_key(f) for f in dirty}
+    for dep_key in project.transitive_dependents(dirty_keys):
+        dep_file = key_to_file.get(dep_key)
+        if dep_file is not None:
+            dirty.add(dep_file)
+
+    result = IncrementalResult()
+    new_entries: Dict[str, dict] = {}
+    for f in sorted(sources):
+        if f in dirty:
+            vs = check_source(sources[f], f, rules=rules, project=project)
+            result.analyzed.append(f)
+        else:
+            vs = _violations_from_cache(cached_files[f].get("violations", ()))
+            result.reused.append(f)
+        result.violations.extend(vs)
+        new_entries[f] = {
+            "hash": hashes[f],
+            "deps": sorted(project.internal_deps(module_key(f))),
+            "violations": [v.as_dict() for v in vs],
+        }
+
+    payload = {"version": CACHE_VERSION, "rules": sig, "files": new_entries}
+    try:
+        with open(cache_path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+            f.write("\n")
+    except OSError:
+        pass  # a read-only checkout still gets correct results
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return result

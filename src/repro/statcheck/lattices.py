@@ -1,0 +1,368 @@
+"""Concrete provenance domains: dtype flow and RNG seededness.
+
+Both are powerset domains over :class:`~repro.statcheck.dataflow.AV` tags:
+
+* **dtype-flow** — ``dt:<x>`` tags a *dtype object* (``np.float64``, the
+  string ``"float32"``), ``arr:<x>`` tags an *array value* of that dtype.
+  Constructors turn ``dt:`` into ``arr:``; ``astype``/``view`` re-tag;
+  element access, slicing and shape-preserving methods pass tags through.
+  A trailing ``~`` (``arr:f64~``) marks a *default* dtype — one nobody
+  wrote down — so rules can distinguish "explicitly float64" from
+  "float64 because NumPy's default leaked through a call boundary".
+* **RNG-provenance** — ``rng:seeded`` / ``rng:unseeded``.  A Generator is
+  seeded only if it flows from ``as_rng(<explicit seed>)`` (or another
+  explicit-seed source); ``as_rng()``, ``as_rng(None)``,
+  ``default_rng()`` and ``PCG64()`` taint it unseeded.  Sampling methods
+  on an unseeded receiver record a finding; sampling on a *parameter*
+  records the ``samples_params`` fact, which is how "helper three calls
+  down draws from the rng you passed it" propagates to call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.statcheck.dataflow import (
+    AV,
+    EMPTY,
+    Domain,
+    FunctionAnalysis,
+    Summary,
+    bind_args,
+    substitute,
+)
+from repro.statcheck.project import FunctionInfo
+
+# ----------------------------------------------------------------------
+# dtype flow
+# ----------------------------------------------------------------------
+#: Resolved dotted name -> canonical dtype code.
+DTYPE_NAMES = {
+    "numpy.float64": "f64",
+    "numpy.double": "f64",
+    "float": "f64",
+    "numpy.float32": "f32",
+    "numpy.single": "f32",
+    "numpy.float16": "f16",
+    "numpy.half": "f16",
+    "numpy.int8": "i8",
+    "numpy.int16": "i16",
+    "numpy.int32": "i32",
+    "numpy.int64": "i64",
+    "numpy.intp": "i64",
+    "int": "i64",
+    "numpy.uint8": "u8",
+    "numpy.uint16": "u16",
+    "numpy.uint32": "u32",
+    "numpy.uint64": "u64",
+    "numpy.bool_": "bool",
+    "bool": "bool",
+}
+
+#: dtype string spellings numpy accepts (subset that matters here).
+DTYPE_STRINGS = {
+    "float64": "f64",
+    "double": "f64",
+    "f8": "f64",
+    "float32": "f32",
+    "f4": "f32",
+    "float16": "f16",
+    "f2": "f16",
+    "int8": "i8",
+    "int16": "i16",
+    "int32": "i32",
+    "int64": "i64",
+    "uint8": "u8",
+    "bool": "bool",
+}
+
+#: Array constructors honouring a dtype= keyword, with their no-dtype
+#: default ("" = not modelled).
+CONSTRUCTORS = {
+    "numpy.zeros": "f64",
+    "numpy.ones": "f64",
+    "numpy.empty": "f64",
+    "numpy.full": "f64",
+    "numpy.arange": "",
+    "numpy.linspace": "f64",
+    "numpy.eye": "f64",
+    "numpy.identity": "f64",
+}
+
+#: Converters that pass through their input's dtype unless dtype= is given.
+CONVERTERS = {
+    "numpy.asarray",
+    "numpy.array",
+    "numpy.ascontiguousarray",
+    "numpy.asfortranarray",
+    "numpy.zeros_like",
+    "numpy.ones_like",
+    "numpy.empty_like",
+    "numpy.full_like",
+    "numpy.concatenate",
+    "numpy.stack",
+    "numpy.vstack",
+    "numpy.hstack",
+    "numpy.where",
+}
+
+#: Shape-preserving array methods: dtype provenance passes through.
+PASSTHROUGH_METHODS = {
+    "copy",
+    "reshape",
+    "ravel",
+    "flatten",
+    "transpose",
+    "squeeze",
+    "clip",
+    "take",
+    "repeat",
+    "swapaxes",
+}
+
+#: Calls that produce a scalar of the named numpy dtype.
+SCALAR_CASTS = {
+    "numpy.float64": "f64",
+    "numpy.double": "f64",
+    "numpy.float32": "f32",
+    "numpy.float16": "f16",
+    "numpy.int8": "i8",
+    "numpy.int64": "i64",
+}
+
+
+def _dt_code(av: AV) -> Optional[str]:
+    """The dtype code a dtype-object value names, if unambiguous."""
+    codes = {t[3:] for t in av.tags if t.startswith("dt:")}
+    if len(codes) == 1:
+        return next(iter(codes))
+    return None
+
+
+def arr_codes(av: AV) -> set:
+    """Array dtype codes (``~`` suffix stripped) carried by a value."""
+    return {t[4:].rstrip("~") for t in av.tags if t.startswith("arr:")}
+
+
+def is_f64_array(av: AV) -> bool:
+    return "f64" in arr_codes(av)
+
+
+def is_default_dtype(av: AV) -> bool:
+    """True if any array tag came from an implicit (default) dtype."""
+    return any(t.startswith("arr:") and t.endswith("~") for t in av.tags)
+
+
+class DtypeDomain(Domain):
+    name = "dtype"
+
+    def name_value(self, dotted: str) -> AV:
+        code = DTYPE_NAMES.get(dotted)
+        if code is not None:
+            return AV(frozenset({f"dt:{code}"}))
+        return EMPTY
+
+    def constant_value(self, node: ast.Constant) -> AV:
+        if isinstance(node.value, str):
+            code = DTYPE_STRINGS.get(node.value)
+            if code is not None:
+                return AV(frozenset({f"dt:{code}"}))
+        return EMPTY
+
+    def call_value(self, call, dotted, args, kwargs, analysis) -> AV:
+        if dotted is None:
+            return EMPTY
+        if dotted in CONSTRUCTORS:
+            dt = _dt_code(kwargs.get("dtype", EMPTY))
+            if dt is not None:
+                return AV(frozenset({f"arr:{dt}"}))
+            if "dtype" in kwargs:
+                return EMPTY  # dtype given but unresolvable: unknown
+            default = CONSTRUCTORS[dotted]
+            if default:
+                return AV(frozenset({f"arr:{default}~"}))
+            return EMPTY
+        if dotted in CONVERTERS:
+            dt = _dt_code(kwargs.get("dtype", EMPTY))
+            if dt is not None:
+                return AV(frozenset({f"arr:{dt}"}))
+            if "dtype" in kwargs:
+                return EMPTY
+            src = args[0] if args else EMPTY
+            return AV(frozenset(t for t in src.tags if t.startswith("arr:")),
+                      src.params)
+        if dotted in SCALAR_CASTS:
+            return AV(frozenset({f"arr:{SCALAR_CASTS[dotted]}"}))
+        if dotted == "numpy.dtype" and args:
+            dt = _dt_code(args[0])
+            if dt is not None:
+                return AV(frozenset({f"dt:{dt}"}))
+        return EMPTY
+
+    def method_value(self, call, recv, attr, args, kwargs, analysis) -> AV:
+        if attr in ("astype", "view"):
+            dt_arg = kwargs.get("dtype") if "dtype" in kwargs else (
+                args[0] if args else None
+            )
+            if dt_arg is not None:
+                dt = _dt_code(dt_arg)
+                if dt is not None:
+                    return AV(frozenset({f"arr:{dt}"}))
+            return EMPTY
+        if attr in PASSTHROUGH_METHODS:
+            return AV(
+                frozenset(t for t in recv.tags if t.startswith("arr:")),
+                recv.params,
+            )
+        return EMPTY
+
+    def binop_value(self, node, left, right) -> AV:
+        # float64 dominates mixed arithmetic; identical tags survive.
+        lcodes, rcodes = arr_codes(left), arr_codes(right)
+        if "f64" in lcodes | rcodes:
+            tags = {
+                t
+                for t in left.tags | right.tags
+                if t.startswith("arr:f64")
+            }
+            return AV(frozenset(tags), left.params | right.params)
+        if lcodes and lcodes == rcodes:
+            return AV(
+                frozenset(
+                    t
+                    for t in left.tags | right.tags
+                    if t.startswith("arr:")
+                ),
+                left.params | right.params,
+            )
+        return EMPTY
+
+
+# ----------------------------------------------------------------------
+# RNG provenance
+# ----------------------------------------------------------------------
+SEEDED = AV(frozenset({"rng:seeded"}))
+UNSEEDED = AV(frozenset({"rng:unseeded"}))
+
+#: Generator methods that consume the stream (sampling).
+SAMPLING_METHODS = frozenset(
+    {
+        "random",
+        "integers",
+        "choice",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "exponential",
+        "poisson",
+        "binomial",
+        "multinomial",
+        "multivariate_normal",
+        "gamma",
+        "beta",
+        "chisquare",
+        "dirichlet",
+        "geometric",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "bytes",
+    }
+)
+
+#: Project intrinsics: (function qualname) -> handled specially, because
+#: their seededness depends on the *argument*, which a return summary
+#: cannot express.
+RNG_WRAPPERS = {"as_rng", "spawn_rngs"}
+
+#: Non-project RNG sources with the same argument-dependent semantics.
+RNG_SOURCES = {
+    "numpy.random.default_rng",
+    "numpy.random.PCG64",
+    "numpy.random.SeedSequence",
+    "repro.utils.rng.as_rng",
+    "repro.utils.rng.spawn_rngs",
+}
+
+
+def _rng_tags_only(av: AV) -> AV:
+    return AV(frozenset(t for t in av.tags if t.startswith("rng:")), av.params)
+
+
+def _source_value(call: ast.Call, args: List[AV], kwargs: Dict[str, AV]) -> AV:
+    """Seededness of an explicit-seed RNG source call."""
+    seed_node: Optional[ast.AST] = call.args[0] if call.args else None
+    for kw in call.keywords:
+        if kw.arg == "seed":
+            seed_node = kw.value
+    seed_av = args[0] if args else kwargs.get("seed", EMPTY)
+    carried = _rng_tags_only(seed_av)
+    if carried.tags:
+        return carried  # as_rng(rng) passes an existing generator through
+    if seed_node is None:
+        return UNSEEDED
+    if isinstance(seed_node, ast.Constant) and seed_node.value is None:
+        return UNSEEDED
+    if seed_av.params:
+        # Seed is a parameter: seededness is the caller's; propagate the
+        # parameter origin so call sites can decide.
+        return AV(SEEDED.tags, seed_av.params)
+    return SEEDED
+
+
+class RngDomain(Domain):
+    name = "rng"
+
+    def call_value(self, call, dotted, args, kwargs, analysis) -> AV:
+        if dotted in RNG_SOURCES or (
+            dotted is not None and dotted.rsplit(".", 1)[-1] in RNG_WRAPPERS
+        ):
+            return _source_value(call, args, kwargs)
+        if dotted == "numpy.random.Generator":
+            return _rng_tags_only(args[0]) if args else EMPTY
+        return EMPTY
+
+    def method_value(self, call, recv, attr, args, kwargs, analysis) -> AV:
+        if attr in SAMPLING_METHODS:
+            if recv.has("rng:unseeded"):
+                analysis.finding(call, attr)
+            if recv.params:
+                prior = analysis.facts.get("samples_params", frozenset())
+                analysis.facts["samples_params"] = prior | recv.params
+            return EMPTY
+        if attr == "spawn":
+            return _rng_tags_only(recv)
+        return EMPTY
+
+    def project_call_value(
+        self,
+        call: ast.Call,
+        callee: FunctionInfo,
+        summary: Summary,
+        args: List[AV],
+        kwargs: Dict[str, AV],
+        analysis: FunctionAnalysis,
+    ) -> AV:
+        if callee.qualname in RNG_WRAPPERS:
+            return _source_value(call, args, kwargs)
+        bound = bind_args(callee, args, kwargs)
+        sampled = summary.facts.get("samples_params", frozenset())
+        for idx, av in bound.items():
+            if idx in sampled:
+                if av.has("rng:unseeded"):
+                    analysis.finding(call, callee.qualname)
+                if av.params:
+                    prior = analysis.facts.get("samples_params", frozenset())
+                    analysis.facts["samples_params"] = prior | av.params
+        return substitute(summary.ret, bound)
+
+    def collect_facts(self, analysis: FunctionAnalysis) -> Dict[str, object]:
+        return {
+            "samples_params": frozenset(
+                analysis.facts.get("samples_params", frozenset())
+            )
+        }

@@ -21,8 +21,10 @@ The detector works on DSL markers rather than types: staging writes are
 ``metrics.bytes_staged_shared`` accumulations, shared reads are
 ``metrics.shared_load_requests`` accumulations, and syncs are calls whose
 name contains ``sync`` (``WarpGrid.record_sync``) or accumulations naming a
-``*SYNC*`` cycle constant.  Calls to same-module functions are inlined one
-level so staging/traversal helpers are followed.
+``*SYNC*`` cycle constant.  Since v2, helper calls are inlined recursively
+through the project call graph (cycle-guarded), so staging/traversal
+helpers are followed to any depth — including helpers imported from
+sibling kernel modules.
 """
 
 from __future__ import annotations
@@ -279,27 +281,58 @@ def _calls_of_stmt(stmt: ast.stmt) -> List[ast.Call]:
 def _events_of_function(
     fn: ast.AST,
     table: Dict[str, ast.AST],
-    inline: bool,
+    project=None,
+    mod=None,
+    enclosing=None,
+    _visited: Optional[set] = None,
+    _depth: int = 0,
 ) -> List[Event]:
     """Ordered shared-memory events of a function body.
 
-    With ``inline`` set, calls to same-module functions splice in that
-    callee's *direct* events (one level — enough to follow the
-    ``_run -> _stage_x/_traverse_x`` structure without cycles).
+    Calls are inlined *recursively* through the project call graph
+    (v2: ``_run -> _stage -> _stage_inner`` chains of any depth, including
+    helpers imported from sibling kernel modules), guarded by a visited
+    set so recursion and mutual calls terminate.  The same-module name
+    table remains the fallback when no project is available.  ``mod`` is
+    the :class:`~repro.statcheck.project.ModuleInfo` *containing* ``fn``,
+    so calls inside an inlined cross-module helper resolve in that
+    helper's own namespace.
     """
     from repro.statcheck.astutils import statements_in_order
+    from repro.statcheck.project import MAX_CALL_DEPTH
 
+    visited = _visited if _visited is not None else {id(fn)}
     events: List[Event] = []
     for stmt in statements_in_order(fn.body):
         for call in _calls_of_stmt(stmt):
             name = last_segment(dotted_name(call.func))
             if "sync" in name.lower():
                 events.append(("sync", call.lineno))
-            elif inline and name in table and table[name] is not fn:
-                callee_events = _events_of_function(
-                    table[name], table, inline=False
-                )
-                events.extend((kind, call.lineno) for kind, _ in callee_events)
+                continue
+            callee_info = None
+            if project is not None and mod is not None:
+                callee_info = project.resolve_call(call, mod, enclosing=enclosing)
+            if callee_info is not None:
+                callee_node = callee_info.node
+                callee_mod = callee_info.module
+            elif name in table:
+                callee_node = table[name]
+                callee_mod = mod
+            else:
+                continue
+            if id(callee_node) in visited or _depth >= MAX_CALL_DEPTH:
+                continue
+            visited.add(id(callee_node))
+            callee_events = _events_of_function(
+                callee_node,
+                table,
+                project=project,
+                mod=callee_mod,
+                enclosing=callee_info,
+                _visited=visited,
+                _depth=_depth + 1,
+            )
+            events.extend((kind, call.lineno) for kind, _ in callee_events)
         events.extend(_marker_events_of_stmt(stmt))
     return events
 
@@ -315,8 +348,18 @@ class SharedMemoryRaceRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         table = _function_table(ctx.tree)
+        mod = ctx.module_info
+        info_by_node = (
+            {id(f.node): f for f in mod.functions.values()} if mod else {}
+        )
         for _parent, fn in walk_functions(ctx.tree):
-            events = _events_of_function(fn, table, inline=True)
+            events = _events_of_function(
+                fn,
+                table,
+                project=ctx.project if mod else None,
+                mod=mod,
+                enclosing=info_by_node.get(id(fn)),
+            )
             pending_write: Optional[int] = None
             for kind, line in events:
                 if kind == "write":

@@ -1,0 +1,147 @@
+"""SRV rules — deadline discipline in the serving layer.
+
+The fault-tolerant frontdoor sheds load to protect tail latency, and every
+shed decision is only defensible if it actually *looked at the clock*: a
+``RequestStatus.SHED_*`` response constructed by code that never consulted
+the request's deadline (``deadline_s`` / ``slack()`` / ``expired()``) is a
+policy bug — it drops traffic for a reason the response claims is
+deadline-based but is not.
+
+**SRV001** finds every shed point (a call carrying a ``SHED_*`` status
+among its arguments) and requires the enclosing function to consult the
+deadline, either directly or transitively through helpers resolved via the
+project call graph.  This keeps the check honest when the consultation is
+factored out (``self._batcher.take_expired(now)`` two modules away still
+counts), which a per-file v1-style rule could not see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.statcheck.astutils import walk_functions
+from repro.statcheck.core import FileContext, Rule, Violation, register
+from repro.statcheck.project import MAX_CALL_DEPTH, ModuleInfo, Project
+
+#: Attribute/name accesses that count as consulting the request deadline.
+DEADLINE_ATTRS = frozenset({"deadline_s"})
+
+#: Method/function names whose *meaning* is a deadline consultation.
+DEADLINE_CALLS = frozenset({"slack", "expired", "take_expired"})
+
+
+def _shed_points(fn: ast.AST) -> Iterator[ast.Call]:
+    """Calls constructing a shed response: any ``SHED_*`` status argument.
+
+    Comparisons (``status == SHED_X``) and bucketing dicts do not count —
+    inspecting a shed that already happened needs no deadline.
+    """
+    stack = [fn]
+    while stack:
+        node = stack.pop()
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not fn
+        ):
+            continue  # nested defs are their own analysis units
+        stack.extend(ast.iter_child_nodes(node))
+        if not isinstance(node, ast.Call):
+            continue
+        exprs = list(node.args) + [kw.value for kw in node.keywords]
+        for expr in exprs:
+            if isinstance(expr, ast.Attribute) and expr.attr.startswith("SHED_"):
+                yield node
+                break
+            if isinstance(expr, ast.Name) and expr.id.startswith("SHED_"):
+                yield node
+                break
+
+
+def _consults_directly(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr in DEADLINE_ATTRS:
+            return True
+        if isinstance(node, ast.Name) and node.id in DEADLINE_ATTRS:
+            return True
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = None
+            if isinstance(callee, ast.Attribute):
+                name = callee.attr
+            elif isinstance(callee, ast.Name):
+                name = callee.id
+            if name in DEADLINE_CALLS:
+                return True
+    return False
+
+
+def _consults_deadline(
+    fn: ast.AST,
+    mod: Optional[ModuleInfo],
+    project: Optional[Project],
+    enclosing=None,
+    _visited: Optional[set] = None,
+    _depth: int = 0,
+) -> bool:
+    """Does ``fn`` consult the deadline, directly or via project helpers?"""
+    if _consults_directly(fn):
+        return True
+    if project is None or mod is None or _depth >= MAX_CALL_DEPTH:
+        return False
+    visited = _visited if _visited is not None else {id(fn)}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = project.resolve_call(node, mod, enclosing=enclosing)
+        if callee is None or id(callee.node) in visited:
+            continue
+        visited.add(id(callee.node))
+        if _consults_deadline(
+            callee.node,
+            callee.module,
+            project,
+            enclosing=callee,
+            _visited=visited,
+            _depth=_depth + 1,
+        ):
+            return True
+    return False
+
+
+@register
+class ShedWithoutDeadlineRule(Rule):
+    id = "SRV001"
+    summary = (
+        "every SHED_* construction site must consult the request deadline "
+        "(deadline_s / slack() / expired()), directly or through helpers "
+        "resolved via the call graph"
+    )
+    path_prefixes = ("repro/serving/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        mod = ctx.module_info
+        info_by_node = (
+            {id(f.node): f for f in mod.functions.values()} if mod else {}
+        )
+        for _parent, fn in walk_functions(ctx.tree):
+            sheds = list(_shed_points(fn))
+            if not sheds:
+                continue
+            if _consults_deadline(
+                fn,
+                mod,
+                ctx.project if mod else None,
+                enclosing=info_by_node.get(id(fn)),
+            ):
+                continue
+            for call in sheds:
+                yield ctx.violation(
+                    call,
+                    self.id,
+                    f"function {fn.name!r} constructs a SHED_* response but "
+                    "never consults the request deadline (deadline_s, "
+                    "slack(), expired()) — deadline-labelled sheds must be "
+                    "deadline-driven; thread the request deadline to this "
+                    "decision point",
+                )

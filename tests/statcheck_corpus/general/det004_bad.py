@@ -1,0 +1,28 @@
+"""BAD: sampling reachable from an unseeded Generator.
+
+The through-helper case is the v2 acceptance fixture: every individual
+line passes the v1 name-based rules (no ``numpy.random.*`` anywhere), but
+the provenance lattice sees ``as_rng(None)`` taint the generator and the
+helper draw from it.
+"""
+
+from repro.utils.rng import as_rng
+
+
+def _draw(rng, n):
+    return rng.normal(size=n)
+
+
+def run_direct():
+    rng = as_rng(None)
+    return rng.random()  # DET004: fresh-entropy generator sampled directly
+
+
+def run_no_seed():
+    rng = as_rng()
+    return rng.integers(0, 10)  # DET004: as_rng() defaults to entropy
+
+
+def run_via_helper():
+    rng = as_rng(None)
+    return _draw(rng, 8)  # DET004: taint flows through _draw's parameter

@@ -1,0 +1,23 @@
+"""GOOD: every sampling site flows from an explicitly seeded generator,
+including through helpers and generator-passthrough calls."""
+
+from repro.utils.rng import as_rng
+
+
+def _draw(rng, n):
+    return rng.normal(size=n)
+
+
+def run_fixed():
+    rng = as_rng(1234)
+    return rng.random()
+
+
+def run_threaded(seed):
+    rng = as_rng(seed)
+    return _draw(rng, 8)
+
+
+def run_passthrough(seed):
+    rng = as_rng(as_rng(seed))
+    return rng.integers(0, 10)

@@ -13,3 +13,23 @@ class Kernel:
     def _run(self, grid, metrics, slots, active):
         self._stage(grid, metrics, slots)
         self._walk(grid, metrics, active)  # KRN003: no sync since staging
+
+
+class DeepKernel:
+    """v2: the unfenced read sits two helper levels below the staging
+    write — only recursive call-graph inlining can order the events."""
+
+    BYTES_PER_SLOT = 8
+
+    def _stage(self, grid, metrics, slots):
+        metrics.bytes_staged_shared += slots * self.BYTES_PER_SLOT
+
+    def _walk_inner(self, grid, metrics, active):
+        metrics.shared_load_requests += grid.active_warps(active)
+
+    def _walk_outer(self, grid, metrics, active):
+        self._walk_inner(grid, metrics, active)
+
+    def _run(self, grid, metrics, slots, active):
+        self._stage(grid, metrics, slots)
+        self._walk_outer(grid, metrics, active)  # KRN003: two levels deep

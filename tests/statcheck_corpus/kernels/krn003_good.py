@@ -14,3 +14,24 @@ class Kernel:
         self._stage(grid, metrics, slots)
         grid.record_sync(metrics)
         self._walk(grid, metrics, active)
+
+
+class DeepKernel:
+    """v2: the fence lives inside a helper; recursive inlining must see
+    it clear the pending staging write before the deep read."""
+
+    BYTES_PER_SLOT = 8
+
+    def _stage(self, grid, metrics, slots):
+        metrics.bytes_staged_shared += slots * self.BYTES_PER_SLOT
+
+    def _walk_inner(self, grid, metrics, active):
+        metrics.shared_load_requests += grid.active_warps(active)
+
+    def _walk_outer(self, grid, metrics, active):
+        grid.record_sync(metrics)
+        self._walk_inner(grid, metrics, active)
+
+    def _run(self, grid, metrics, slots, active):
+        self._stage(grid, metrics, slots)
+        self._walk_outer(grid, metrics, active)

@@ -1,0 +1,18 @@
+"""BAD: a deadline-labelled shed constructed by code that never looked at
+the deadline — not directly, and not through any helper it calls."""
+
+from repro.serving.request import RequestStatus
+
+
+class PressureDoor:
+    def _emit(self, req, status, now):
+        return (req.request_id, status, now)
+
+    def _note(self, req):
+        return req.request_id
+
+    def shed_on_pressure(self, req, now, queue_depth):
+        self._note(req)
+        if queue_depth > 64:
+            return self._emit(req, RequestStatus.SHED_DEADLINE_QUEUE, now)  # SRV001
+        return None

@@ -1,0 +1,22 @@
+"""GOOD: every shed decision consults the deadline — directly, or through
+a helper chain the call graph resolves."""
+
+from repro.serving.request import RequestStatus
+
+
+class DeadlineDoor:
+    def _emit(self, req, status, now):
+        return (req.request_id, status, now)
+
+    def _out_of_time(self, req, now):
+        return req.slack(now) <= 0.0
+
+    def shed_direct(self, req, now):
+        if req.deadline_s is not None and now > req.deadline_s:
+            return self._emit(req, RequestStatus.SHED_DEADLINE_QUEUE, now)
+        return None
+
+    def shed_via_helper(self, req, now):
+        if self._out_of_time(req, now):
+            return self._emit(req, RequestStatus.SHED_DEADLINE_LATE, now)
+        return None

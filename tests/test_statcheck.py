@@ -119,7 +119,34 @@ def test_same_line_suppression_with_justification():
 
 def test_suppression_of_other_rule_does_not_silence():
     src = "import time\nt = time.time()  # statcheck: disable=NUM001\n"
-    assert [v.rule_id for v in check_source(src, "src/repro/x.py")] == ["DET001"]
+    # The DET001 still fires, and the useless NUM001 waiver is itself
+    # flagged as an unused suppression (v2).
+    assert [v.rule_id for v in check_source(src, "src/repro/x.py")] == [
+        "DET001",
+        "SUP001",
+    ]
+
+
+def test_unused_suppression_flagged_and_nameable():
+    src = "x = 1  # statcheck: disable=DET001 stale waiver\n"
+    out = check_source(src, "src/repro/x.py")
+    assert [v.rule_id for v in out] == ["SUP001"]
+    assert out[0].line == 1
+    # Naming SUP001 explicitly is the sanctioned way to silence it...
+    src2 = "x = 1  # statcheck: disable=DET001,SUP001 grandfathered\n"
+    assert check_source(src2, "src/repro/x.py") == []
+
+
+def test_unused_disable_all_cannot_hide_its_own_warning():
+    src = "x = 1  # statcheck: disable=all\n"
+    assert [v.rule_id for v in check_source(src, "src/repro/x.py")] == ["SUP001"]
+
+
+def test_unused_file_wide_suppression_flagged():
+    src = "# statcheck: disable-file=KRN001 old debt\nx = 1\n"
+    out = check_source(src, "src/repro/x.py")
+    assert [v.rule_id for v in out] == ["SUP001"]
+    assert out[0].line == 1
 
 
 def test_disable_all_suppression():
