@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint statcheck statcheck-fix statcheck-sarif faults serve-chaos serve-chaos-baseline fastpath fastpath-baseline bench bench-smoke experiments report plan trace obs-diff clean-cache loc
+.PHONY: install test lint statcheck statcheck-fix statcheck-sarif faults serve-chaos serve-chaos-baseline slo slo-baseline fastpath fastpath-baseline bench bench-smoke experiments report plan trace obs-diff clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -45,6 +45,20 @@ serve-chaos:
 serve-chaos-baseline:
 	PYTHONPATH=src python -m repro.experiments.serving_chaos \
 		--scale smoke --write-baseline
+
+# SLO soak (docs/architecture.md §8): replay the observed chaos grid
+# twice with request-scoped tracing, insist slo_report.json and every
+# Chrome trace are byte-identical across the replays, then gate burn
+# rates and cost-model calibration drift against the checked-in baseline
+# (results/slo_baseline.json).  Artifacts land in results/slo/.
+slo:
+	PYTHONPATH=src python -m repro.obs slo --scale smoke \
+		--out results/slo --check
+
+# Regenerate the SLO baseline after an intentional serving/SLO change.
+slo-baseline:
+	PYTHONPATH=src python -m repro.obs slo --scale smoke \
+		--out results/slo --write-baseline
 
 # Fastpath perf trajectory (docs/architecture.md §11): golden equivalence
 # suite, then the trace-vs-fastpath bench gated against the checked-in

@@ -21,6 +21,9 @@ answer or on p99/shed-rate regressions.
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.classifier import HierarchicalForestClassifier
@@ -31,7 +34,15 @@ from repro.experiments.common import (
     get_scale,
     queries_for,
 )
+from repro.obs import ObsSession, render_chrome_trace
+from repro.obs.slo import (
+    default_objectives,
+    evaluate_objectives,
+    events_from_responses,
+)
+from repro.runtime.drift import CostDriftMonitor
 from repro.serving import ChaosScenario, default_scenarios, run_scenario
+from repro.serving.chaos import replay_scenario, wrong_answer_ids
 from repro.utils.tables import format_table
 
 DATASET = "higgs"
@@ -68,8 +79,6 @@ def run_reports(
     reports: List[Dict] = []
     for scenario in scenarios:
         if seed:
-            from dataclasses import replace
-
             scenario = replace(
                 scenario,
                 traffic_seed=scenario.traffic_seed + seed,
@@ -78,6 +87,113 @@ def run_reports(
         clf = HierarchicalForestClassifier.from_forest(forest)
         reports.append(run_scenario(clf, X[:512], scenario))
     return reports
+
+
+# ----------------------------------------------------------------------
+# The SLO soak: the same grid, fully observed
+# ----------------------------------------------------------------------
+@dataclass
+class SLOSoakResult:
+    """One observed pass over the chaos grid.
+
+    ``report`` is the deterministic ``slo_report.json`` payload;
+    ``traces`` maps scenario name to its rendered Chrome trace (already
+    byte-stable strings); ``sessions`` keeps the live
+    :class:`~repro.obs.ObsSession` per scenario for tests that want to
+    poke at registries and tracers directly.
+    """
+
+    report: Dict[str, object]
+    traces: Dict[str, str] = field(default_factory=dict)
+    sessions: Dict[str, ObsSession] = field(default_factory=dict)
+
+
+def run_slo_soak(
+    scale="smoke",
+    seed: int = 0,
+    miscalibration: float = 1.0,
+    scenarios: Optional[Sequence[ChaosScenario]] = None,
+    latency_threshold_s: float = 0.05,
+) -> SLOSoakResult:
+    """Replay the chaos grid with full tracing, SLOs and drift monitoring.
+
+    Per scenario: a fresh classifier, a fresh :class:`~repro.obs.ObsSession`
+    (request-scoped tracing + metrics + latency exemplars), and a
+    :class:`CostDriftMonitor` wired into the front door.  Each replay gets
+    its own *empty* temporary plan-cache directory — a shared cache would
+    make the second replay take the cache-hit path (``plan.source``
+    changes), breaking the byte-identical-replay contract the golden test
+    enforces.
+
+    ``miscalibration`` is the injected cost-model error factor (1.0 =
+    faithful model); the acceptance test drives 2.0 through here and
+    expects the drift monitor to flag it and the CI gate to fail.
+    """
+    scale = get_scale(scale)
+    ds = get_dataset(DATASET, scale)
+    depth = band_depths(DATASET, scale)[0]
+    forest = get_forest(DATASET, depth, scale.n_trees, scale, seed=0)
+    X = queries_for(ds, scale)
+    if scenarios is None:
+        scenarios = default_scenarios(
+            duration_s=DURATIONS.get(scale.name, 1.0)
+        )
+    objectives = default_objectives(latency_threshold_s=latency_threshold_s)
+    result = SLOSoakResult(
+        report={
+            "dataset": DATASET,
+            "scale": scale.name,
+            "seed": seed,
+            "miscalibration": miscalibration,
+            "scenarios": [],
+        }
+    )
+    for scenario in scenarios:
+        if seed:
+            scenario = replace(
+                scenario,
+                traffic_seed=scenario.traffic_seed + seed,
+                fault_seed=scenario.fault_seed + seed,
+            )
+        clf = HierarchicalForestClassifier.from_forest(forest)
+        session = ObsSession()
+        clf.planner.observer = session
+        drift = CostDriftMonitor(
+            registry=session.registry, miscalibration=miscalibration
+        )
+        cache_dir = tempfile.mkdtemp(prefix="repro-slo-plan-cache-")
+        try:
+            clf.planner.cache_dir = cache_dir
+            chaos_replay = replay_scenario(
+                clf, X[:512], scenario, observer=session, drift=drift
+            )
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+        divergence = wrong_answer_ids(
+            chaos_replay.front, chaos_replay.requests, chaos_replay.responses
+        )
+        events = events_from_responses(
+            chaos_replay.responses, wrong_ids=divergence["wrong"]
+        )
+        result.report["scenarios"].append(
+            {
+                "scenario": scenario.name,
+                "horizon_s": float(round(chaos_replay.horizon_s, 9)),
+                "objectives": evaluate_objectives(
+                    objectives, events, chaos_replay.horizon_s
+                ),
+                "calibration": drift.snapshot(),
+                "planner": {
+                    "drift_invalidations": clf.planner.stats[
+                        "drift_invalidations"
+                    ]
+                },
+                "survivability": chaos_replay.report(),
+            }
+        )
+        result.traces[scenario.name] = render_chrome_trace(session.tracer)
+        result.sessions[scenario.name] = session
+    return result
 
 
 def rows_from_reports(reports: List[Dict]) -> List[Dict]:

@@ -2,10 +2,13 @@
 
 One namespace over everything the repo can measure: a span
 :class:`~repro.obs.tracer.Tracer` on the simulated clock, a labeled
-:class:`~repro.obs.registry.MetricsRegistry`, bridges that ingest the
-per-subsystem counter silos, and deterministic exporters (Chrome trace,
-Prometheus text, JSONL run manifests).  ``python -m repro.obs`` drives it
-from the command line.
+:class:`~repro.obs.registry.MetricsRegistry`, request-scoped
+:class:`~repro.obs.context.TraceContext` lineage with a typed
+:class:`~repro.obs.protocol.Observer` hook surface, bridges that ingest
+the per-subsystem counter silos, declarative SLOs with multi-window
+burn-rate evaluation (:mod:`repro.obs.slo`), and deterministic exporters
+(Chrome trace with flow arrows, Prometheus text with exemplars, JSONL
+run manifests).  ``python -m repro.obs`` drives it from the command line.
 """
 
 from repro.obs.bridges import (
@@ -21,6 +24,7 @@ from repro.obs.bridges import (
     record_response,
     record_serving_stats,
 )
+from repro.obs.context import TraceContext, hex64, mix64
 from repro.obs.export import (
     chrome_trace_events,
     prometheus_text,
@@ -40,7 +44,21 @@ from repro.obs.manifest import (
     rows_to_counters,
     write_manifest,
 )
+from repro.obs.protocol import HOOKS, NULL_OBSERVER, Observer, ensure_observer
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import (
+    BurnWindow,
+    SLObjective,
+    SLOEvent,
+    check_slo_report,
+    default_objectives,
+    evaluate_objective,
+    evaluate_objectives,
+    events_from_responses,
+    read_slo_report,
+    render_slo_report,
+    write_slo_report,
+)
 from repro.obs.tracer import CounterSample, Instant, Span, Tracer
 
 __all__ = [
@@ -55,6 +73,9 @@ __all__ = [
     "record_reliability",
     "record_response",
     "record_serving_stats",
+    "TraceContext",
+    "hex64",
+    "mix64",
     "chrome_trace_events",
     "prometheus_text",
     "registry_manifest_counters",
@@ -70,10 +91,25 @@ __all__ = [
     "render_manifest",
     "rows_to_counters",
     "write_manifest",
+    "HOOKS",
+    "NULL_OBSERVER",
+    "Observer",
+    "ensure_observer",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "BurnWindow",
+    "SLObjective",
+    "SLOEvent",
+    "check_slo_report",
+    "default_objectives",
+    "evaluate_objective",
+    "evaluate_objectives",
+    "events_from_responses",
+    "read_slo_report",
+    "render_slo_report",
+    "write_slo_report",
     "CounterSample",
     "Instant",
     "Span",

@@ -14,9 +14,11 @@ the duck-typed observer hooks that :class:`~repro.kernels.base.GPUKernel`,
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.gpusim.metrics import COUNTER_FIELDS, GAUGE_FIELDS
+from repro.obs.context import TraceContext
+from repro.obs.protocol import Observer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.utils.clock import SimulatedClock
@@ -237,13 +239,16 @@ def record_reliability(registry: MetricsRegistry, report,
 # ----------------------------------------------------------------------
 # Serving front door
 # ----------------------------------------------------------------------
-def record_response(registry: MetricsRegistry, response, **labels) -> None:
+def record_response(registry: MetricsRegistry, response,
+                    exemplar: Optional[str] = None, **labels) -> None:
     """Ingest one serving :class:`~repro.serving.request.Response`.
 
     ``serving.responses`` counts terminal outcomes per (status, tenant);
     served requests additionally land in the end-to-end latency histogram
     (queue wait + batching + execution, simulated seconds) and the
     degraded/hedged counters the survivability report summarises.
+    ``exemplar`` (a trace-id hex string) tags the latency bucket the
+    response lands in, linking tail buckets back into the Chrome trace.
     """
     registry.counter(
         "serving.responses", "terminal request outcomes"
@@ -254,7 +259,8 @@ def record_response(registry: MetricsRegistry, response, **labels) -> None:
         "serving.latency.seconds",
         "served end-to-end latency (queue + batch + execute)",
         buckets=LATENCY_BUCKETS,
-    ).observe(response.latency_s, tenant=response.tenant, **labels)
+    ).observe(response.latency_s, exemplar=exemplar,
+              tenant=response.tenant, **labels)
     registry.counter(
         "serving.served_by_platform", "served requests per platform"
     ).inc(1.0, platform=response.platform_used or "unknown", **labels)
@@ -292,20 +298,23 @@ def record_serving_stats(registry: MetricsRegistry, stats,
 # ----------------------------------------------------------------------
 # The observer the hooks talk to
 # ----------------------------------------------------------------------
-class ObsSession:
+class ObsSession(Observer):
     """One observed run: registry + tracer over a shared simulated clock.
 
-    Instances satisfy the duck-typed observer protocol of the kernel base
-    classes, the classifier front door and the serving guard:
+    Implements the full typed :class:`~repro.obs.protocol.Observer`
+    surface of the kernel base classes, the planner, the guard and the
+    serving front door.
 
-    * ``on_gpu_kernel(kernel, result, grid)``
-    * ``on_fpga_kernel(kernel, result, replication)``
-    * ``on_transfer(direction, seconds, nbytes)``
-    * ``on_guarded_call(result, report)``
-    * ``on_plan(plan)`` (the :class:`~repro.runtime.Planner`'s decisions)
-    * ``on_response(response)`` / ``on_serving_batch(rows, seconds,
-      platform, hedged)`` / ``on_queue_depth(depth)`` (the
-      :class:`~repro.serving.ServingFrontDoor` pipeline)
+    When the front door drives the serving hooks (``on_request_admitted``
+    -> ``on_batch_start`` -> kernel hooks -> ``on_guarded_call`` ->
+    ``on_serving_batch`` -> ``on_response``), every span is stamped with
+    the request's :class:`TraceContext` lineage: queue wait and the
+    request root land on per-tenant ``requests/<tenant>`` tracks, the
+    micro-batch on ``serving``, the guarded call on ``guard``, and each
+    kernel/transfer span links back to its guard parent — the Chrome
+    exporter renders the whole causal tree with cross-track flow arrows.
+    Standalone use (no ``on_batch_start``) keeps the original untraced
+    span shapes, so pre-existing goldens replay byte-identically.
 
     Consecutive kernel launches lay out end-to-end on the simulated
     timeline (the device stream is serial); FPGA CU lanes run in parallel
@@ -316,6 +325,23 @@ class ObsSession:
         self.clock = clock if clock is not None else SimulatedClock()
         self.registry = MetricsRegistry()
         self.tracer = Tracer(clock=self.clock)
+        # Serving-pipeline state between on_batch_start and on_serving_batch.
+        self._batch_ctx: Optional[TraceContext] = None
+        self._batch_start_s: float = 0.0
+        self._batch_links: tuple = ()
+        self._batch_active: bool = False
+        self._guard_ctx: Optional[TraceContext] = None
+        self._kernel_ordinal: int = 0
+        # request_id -> queue-wait span id (root-tree completeness).
+        self._queue_spans: Dict[int, int] = {}
+
+    def _kernel_ctx(self, name: str) -> Optional[TraceContext]:
+        """Next kernel-level child of the active guarded call (or None)."""
+        if self._guard_ctx is None:
+            return None
+        ctx = self._guard_ctx.child(name, self._kernel_ordinal)
+        self._kernel_ordinal += 1
+        return ctx
 
     # -- kernel hooks ---------------------------------------------------
     def on_gpu_kernel(self, kernel, result, grid=None) -> None:
@@ -333,7 +359,7 @@ class ObsSession:
             args.update(grid.launch_dims())
         start = self.clock.now()
         self.tracer.add_span("gpu", name, result.seconds, cat="kernel",
-                             args=args)
+                             args=args, ctx=self._kernel_ctx("gpu"))
         self.tracer.sample(
             "gpu counters",
             "global load transactions",
@@ -360,7 +386,8 @@ class ObsSession:
             "work_items": result.pipeline.work_items,
         }
         # All CUs run in parallel between start and start + seconds; draw
-        # one lane per CU and advance the shared clock once.
+        # one lane per CU and advance the shared clock once.  Each lane
+        # gets its own context child so every lane hangs off the guard.
         for slr, cu in replication.iter_cus():
             self.tracer.add_span(
                 replication.cu_track(slr, cu),
@@ -369,6 +396,7 @@ class ObsSession:
                 start_s=start,
                 cat="kernel",
                 args=args,
+                ctx=self._kernel_ctx("fpga"),
             )
         self.clock.advance(result.seconds)
 
@@ -385,7 +413,7 @@ class ObsSession:
             "transfer.seconds", "simulated PCIe transfer seconds"
         ).inc(seconds, direction=direction)
         self.tracer.add_span("pcie", direction, seconds, cat="transfer",
-                             args=args)
+                             args=args, ctx=self._kernel_ctx("pcie"))
 
     # -- planner --------------------------------------------------------
     def on_plan(self, plan) -> None:
@@ -409,6 +437,7 @@ class ObsSession:
             f"fastpath[{stats.rows} rows x {stats.trees} trees]",
             seconds,
             cat="fastpath",
+            ctx=self._kernel_ctx("fastpath"),
             args={
                 "platform": plan.platform,
                 "variant": plan.variant,
@@ -420,16 +449,43 @@ class ObsSession:
         )
 
     # -- guard ----------------------------------------------------------
+    def on_rung_attempt(self, plan, attempt: int, retries: int) -> None:
+        if attempt == 0:
+            return  # first launches are the span itself, not an event
+        self.tracer.instant(
+            "guard",
+            f"retry {plan.platform}/{plan.variant}",
+            args={"attempt": attempt, "retries": retries},
+            ctx=self._guard_ctx,
+        )
+
     def on_guarded_call(self, result, report) -> None:
         record_reliability(self.registry, report)
         self.registry.histogram(
             "guard.call.seconds", "guarded call latency (simulated)",
             buckets=LATENCY_BUCKETS,
         ).observe(result.seconds)
+        if self._batch_active and self._guard_ctx is not None:
+            self.tracer.add_span(
+                "guard",
+                f"guarded-call[{report.platform_used or 'unknown'}]",
+                result.seconds + report.backoff_seconds,
+                start_s=self._batch_start_s,
+                cat="guard",
+                advance=False,
+                ctx=self._guard_ctx,
+                args={
+                    "platform_used": report.platform_used,
+                    "attempts": report.attempts,
+                    "fallback_depth": report.fallback_depth,
+                    "degraded": report.degraded,
+                },
+            )
         if report.fallback_depth or report.degraded:
             self.tracer.instant(
                 "guard",
                 "fallback" if report.fallback_depth else "degraded-quorum",
+                ctx=self._guard_ctx,
                 args={
                     "platform_used": report.platform_used,
                     "fallback_depth": report.fallback_depth,
@@ -444,12 +500,76 @@ class ObsSession:
             )
 
     # -- serving front door ---------------------------------------------
+    def on_request_admitted(self, request) -> None:
+        self.registry.counter(
+            "serving.admitted", "requests admitted past the front door"
+        ).inc(1.0, tenant=request.tenant)
+
+    def on_batch_start(self, ctx, batch_id: int, members, start_s: float,
+                       ) -> None:
+        # The front door's clock and this session's clock are distinct
+        # (kernel hooks advance ours during guard execution); re-sync to
+        # the serving clock at every batch boundary so span starts line up.
+        now = self.clock.now()
+        if start_s > now:
+            self.clock.advance(start_s - now)
+        links: List[int] = []
+        for req in members:
+            if req.trace is None:
+                continue
+            qctx = req.trace.child("queue")
+            span = self.tracer.add_span(
+                f"requests/{req.tenant}",
+                "queue",
+                max(start_s - req.arrival_s, 0.0),
+                start_s=req.arrival_s,
+                cat="serving",
+                advance=False,
+                ctx=qctx,
+                args={"request_id": req.request_id, "batch_id": batch_id},
+            )
+            self._queue_spans[req.request_id] = qctx.span_id
+            links.append(qctx.span_id)
+        self._batch_ctx = ctx
+        self._batch_start_s = float(start_s)
+        self._batch_links = tuple(links)
+        self._batch_active = True
+        self._guard_ctx = ctx.child("guard") if ctx is not None else None
+        self._kernel_ordinal = 0
+
     def on_response(self, response) -> None:
-        record_response(self.registry, response)
+        ctx = getattr(response, "trace", None)
+        record_response(
+            self.registry,
+            response,
+            exemplar=ctx.trace_hex if ctx is not None else None,
+        )
+        if ctx is not None:
+            # The request root span: admission to terminal verdict, on the
+            # tenant's own track.  Everything else in the tree (queue,
+            # batch, guard, kernels) hangs off this context's ids.
+            self.tracer.add_span(
+                f"requests/{response.tenant}",
+                f"request {response.request_id} [{response.status.value}]",
+                max(response.latency_s, 0.0),
+                start_s=response.arrival_s,
+                cat="request",
+                advance=False,
+                ctx=ctx,
+                args={
+                    "request_id": response.request_id,
+                    "status": response.status.value,
+                    "batch_id": response.batch_id,
+                    "platform_used": response.platform_used,
+                    "degraded": response.degraded,
+                    "hedged": response.hedged,
+                },
+            )
         if response.status.shed:
             self.tracer.instant(
                 "serving",
                 f"shed {response.status.value}",
+                ctx=ctx,
                 args={
                     "request_id": response.request_id,
                     "tenant": response.tenant,
@@ -462,13 +582,38 @@ class ObsSession:
             "serving.batch.rows", "rows coalesced per micro-batch",
             buckets=(1, 4, 16, 64, 256, 1024),
         ).observe(float(rows))
-        self.tracer.add_span(
-            "serving",
-            f"batch[{rows} rows]",
-            seconds,
-            cat="serving",
-            args={"platform": platform, "hedged": hedged},
-        )
+        if self._batch_active:
+            # Explicit interval on the serving clock; our own clock was
+            # advanced piecemeal by the kernel hooks, so don't advance it
+            # again — just top it up to the batch end if it fell short
+            # (pure model time like backoff has no kernel span).
+            self.tracer.add_span(
+                "serving",
+                f"batch[{rows} rows]",
+                seconds,
+                start_s=self._batch_start_s,
+                cat="serving",
+                advance=False,
+                ctx=self._batch_ctx,
+                links=self._batch_links,
+                args={"platform": platform, "hedged": hedged},
+            )
+            end = self._batch_start_s + seconds
+            now = self.clock.now()
+            if end > now:
+                self.clock.advance(end - now)
+            self._batch_ctx = None
+            self._batch_links = ()
+            self._batch_active = False
+            self._guard_ctx = None
+        else:
+            self.tracer.add_span(
+                "serving",
+                f"batch[{rows} rows]",
+                seconds,
+                cat="serving",
+                args={"platform": platform, "hedged": hedged},
+            )
 
     def on_queue_depth(self, depth: int) -> None:
         self.registry.gauge(

@@ -5,10 +5,15 @@ Subcommands::
     python -m repro.obs trace --out results/obs        # seeded smoke run
     python -m repro.obs summary results/obs/run_manifest.jsonl
     python -m repro.obs diff baseline.jsonl candidate.jsonl
+    python -m repro.obs slo --check                    # SLO burn-rate gate
 
 ``diff`` exits non-zero when any lower-is-better counter increased beyond
 the tolerance — wire it into CI to turn "did this PR slow the simulated
-kernels down?" into a check instead of a code-review guess.
+kernels down?" into a check instead of a code-review guess.  ``slo`` runs
+the traced chaos soak twice (determinism contract), writes
+``slo_report.json`` plus one Chrome trace per scenario, and with
+``--check`` gates burn rates and cost-model calibration against the
+checked-in baseline.
 """
 
 from __future__ import annotations
@@ -160,6 +165,77 @@ def cmd_trace(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# slo: the traced chaos soak + burn-rate/calibration CI gate
+# ----------------------------------------------------------------------
+def cmd_slo(args) -> int:
+    import os
+
+    from repro.experiments.serving_chaos import run_slo_soak
+    from repro.obs.slo import (
+        check_slo_report,
+        read_slo_report,
+        render_slo_report,
+        write_slo_report,
+    )
+
+    first = run_slo_soak(
+        scale=args.scale, seed=args.seed,
+        miscalibration=args.inject_miscalibration,
+    )
+    second = run_slo_soak(
+        scale=args.scale, seed=args.seed,
+        miscalibration=args.inject_miscalibration,
+    )
+    if render_slo_report(first.report) != render_slo_report(second.report):
+        print("FAIL: SLO soak is not deterministic across replays")
+        return 1
+    for name, trace in first.traces.items():
+        if trace != second.traces[name]:
+            print(f"FAIL: Chrome trace for {name} differs across replays")
+            return 1
+
+    report_path = write_slo_report(
+        os.path.join(args.out, "slo_report.json"), first.report
+    )
+    print(f"[slo report: {report_path}]")
+    for name in sorted(first.traces):
+        path = os.path.join(args.out, f"trace_{name}.json")
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w", encoding="utf-8", newline="\n") as f:
+            f.write(first.traces[name])
+        print(f"[trace: {path}]")
+    for scenario in first.report["scenarios"]:
+        verdicts = ", ".join(
+            f"{o['name']}={'VIOLATED' if o['violated'] else 'ok'}"
+            f"(burn {o['burn_rate']:.2f})"
+            for o in scenario["objectives"]
+        )
+        print(f"  {scenario['scenario']}: {verdicts}")
+
+    if args.write_baseline:
+        write_slo_report(args.baseline, first.report)
+        print(f"[baseline written to {args.baseline}]")
+        return 0
+    if not args.check:
+        return 0
+    try:
+        baseline = read_slo_report(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: cannot read baseline {args.baseline}: {e}")
+        return 1
+    failures = check_slo_report(first.report, baseline)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        return 1
+    print(
+        f"slo ok: {len(first.report['scenarios'])} scenarios deterministic, "
+        f"within burn-rate and calibration gates ({args.baseline})"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # summary / diff
 # ----------------------------------------------------------------------
 def summarize(manifest: RunManifest, limit: int = 0) -> str:
@@ -246,6 +322,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                    choices=("smoke", "default", "full"))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "slo",
+        help="run the traced chaos soak twice, write slo_report.json + "
+        "per-scenario Chrome traces; --check gates against the baseline",
+    )
+    p.add_argument("--out", default="results/slo", metavar="DIR")
+    p.add_argument("--scale", default="smoke",
+                   choices=("smoke", "default", "full"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--baseline", default="results/slo_baseline.json")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 on burn-rate or calibration regressions "
+                   "vs the baseline")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="regenerate the baseline instead of gating")
+    p.add_argument("--inject-miscalibration", type=float, default=1.0,
+                   metavar="FACTOR",
+                   help="multiply cost-model predictions by FACTOR "
+                   "(acceptance knob: 2.0 must trip the drift monitor)")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("summary", help="print one manifest's counters")
     p.add_argument("manifest")

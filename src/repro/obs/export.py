@@ -52,7 +52,18 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict]:
             }
         )
     tracks = tracer.tracks
+    # span_id -> (tid, start ts, end ts) for spans carrying a context; the
+    # flow-arrow pass below resolves parent links and batch-member links
+    # against it.  First write wins (span ids are unique by construction).
+    located: Dict[int, tuple] = {}
     for s in tracer.spans:
+        args = dict(s.args)
+        if s.ctx is not None:
+            args.update(s.ctx.as_args())
+            located.setdefault(
+                s.ctx.span_id,
+                (tracks[s.track], s.start_s * _US, s.end_s * _US),
+            )
         events.append(
             {
                 "ph": "X",
@@ -62,10 +73,13 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict]:
                 "cat": s.cat,
                 "ts": s.start_s * _US,
                 "dur": s.dur_s * _US,
-                "args": dict(s.args),
+                "args": args,
             }
         )
     for i in tracer.instants:
+        args = dict(i.args)
+        if i.ctx is not None:
+            args.update(i.ctx.as_args())
         events.append(
             {
                 "ph": "i",
@@ -75,7 +89,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict]:
                 "cat": i.cat,
                 "ts": i.ts_s * _US,
                 "s": "t",  # thread-scoped instant
-                "args": dict(i.args),
+                "args": args,
             }
         )
     for c in tracer.counters:
@@ -89,7 +103,44 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict]:
                 "args": dict(c.values),
             }
         )
+    events.extend(_flow_events(tracer, tracks, located))
     return events
+
+
+def _flow_events(tracer: Tracer, tracks: Dict[str, int],
+                 located: Dict[int, tuple]) -> List[Dict]:
+    """Chrome-trace ``s``/``f`` flow-arrow pairs for cross-track links.
+
+    Every span whose context parent (or explicit ``links`` source) landed
+    on a *different* track gets an arrow from the source span to its own
+    start.  Arrow ids are sequence numbers over the deterministic span
+    order, so the rendered file stays byte-identical across seeded runs.
+    """
+    flows: List[Dict] = []
+    serial = 0
+    for s in tracer.spans:
+        tid = tracks[s.track]
+        start_ts = s.start_s * _US
+        sources = []
+        if s.ctx is not None and s.ctx.parent_span_id is not None:
+            sources.append(s.ctx.parent_span_id)
+        sources.extend(s.links)
+        for source in sources:
+            src = located.get(source)
+            if src is None or src[0] == tid:
+                continue
+            src_tid, src_start, src_end = src
+            bind_ts = min(max(start_ts, src_start), src_end, start_ts)
+            serial += 1
+            common = {"pid": _PID, "name": "trace-flow", "cat": "trace",
+                      "id": serial}
+            flows.append(
+                {"ph": "s", "tid": src_tid, "ts": bind_ts, **common}
+            )
+            flows.append(
+                {"ph": "f", "bp": "e", "tid": tid, "ts": start_ts, **common}
+            )
+    return flows
 
 
 def render_chrome_trace(tracer: Tracer) -> str:
@@ -126,11 +177,27 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
+def _prom_escape(value) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside quoted label values; anything else
+    passes through.  Without this, a label like ``reason="bad "input""``
+    renders an unparseable exposition.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(items, extra=()) -> str:
     pairs = list(items) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+    body = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in sorted(pairs))
     return "{" + body + "}"
 
 
@@ -145,12 +212,27 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         if isinstance(metric, Histogram):
             for key, total in metric.samples():
                 cumulative = metric.bucket_counts(**dict(key))
-                for bound, count in zip(metric.buckets, cumulative):
+                exemplars = metric.exemplars(**dict(key))
+                for i, (bound, count) in enumerate(
+                    zip(metric.buckets, cumulative)
+                ):
                     le = "+Inf" if math.isinf(bound) else _prom_value(bound)
-                    lines.append(
+                    line = (
                         f"{name}_bucket"
                         f"{_prom_labels(key, [('le', le)])} {count}"
                     )
+                    if i in exemplars:
+                        # OpenMetrics-style exemplar: the bucket's largest
+                        # retained observation with its trace id.  Only
+                        # emitted where an exemplar was recorded, so
+                        # exemplar-free registries render byte-identically
+                        # to the previous format.
+                        value, trace_id = exemplars[i][0]
+                        line += (
+                            f' # {{trace_id="{_prom_escape(trace_id)}"}}'
+                            f" {_prom_value(value)}"
+                        )
+                    lines.append(line)
                 lines.append(
                     f"{name}_count{_prom_labels(key)} "
                     f"{metric.count(**dict(key))}"

@@ -99,9 +99,19 @@ class Gauge(Metric):
 
 
 class Histogram(Metric):
-    """Cumulative-bucket histogram (latency distributions)."""
+    """Cumulative-bucket histogram (latency distributions).
+
+    Buckets optionally carry **exemplars**: per (label set, bucket), up to
+    ``MAX_EXEMPLARS_PER_BUCKET`` ``(value, trace_id)`` pairs, keeping the
+    largest observed values.  Exemplars are how a tail bucket answers
+    "show me one" — the SLO report resolves them back to full request
+    span trees in the Chrome trace.
+    """
 
     kind = "histogram"
+
+    #: Exemplars retained per bucket per label set (largest values win).
+    MAX_EXEMPLARS_PER_BUCKET = 4
 
     def __init__(self, name: str, help_text: str = "",
                  buckets: Sequence[float] = DEFAULT_BUCKETS):
@@ -113,15 +123,34 @@ class Histogram(Metric):
             bounds = bounds + (float("inf"),)
         self.buckets = bounds
         self._counts: Dict[LabelItems, List[int]] = {}
+        self._exemplars: Dict[
+            LabelItems, Dict[int, List[Tuple[float, str]]]
+        ] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None,
+                **labels) -> None:
         key = _label_key(labels)
         counts = self._counts.setdefault(key, [0] * len(self.buckets))
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 counts[i] += 1
+                if exemplar is not None:
+                    self._note_exemplar(key, i, float(value), str(exemplar))
                 break
         self._values[key] = self._values.get(key, 0.0) + float(value)
+
+    def _note_exemplar(self, key: LabelItems, bucket: int, value: float,
+                       exemplar: str) -> None:
+        cell = self._exemplars.setdefault(key, {}).setdefault(bucket, [])
+        cell.append((value, exemplar))
+        # Deterministic retention: largest values first, ties on the id.
+        cell.sort(key=lambda pair: (-pair[0], pair[1]))
+        del cell[self.MAX_EXEMPLARS_PER_BUCKET:]
+
+    def exemplars(self, **labels) -> Dict[int, List[Tuple[float, str]]]:
+        """Bucket index -> retained ``(value, trace_id)`` exemplars."""
+        cell = self._exemplars.get(_label_key(labels), {})
+        return {i: list(cell[i]) for i in sorted(cell)}
 
     def count(self, **labels) -> int:
         counts = self._counts.get(_label_key(labels))

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.context import TraceContext
 from repro.utils.clock import Clock, SimulatedClock
 
 
@@ -32,6 +33,11 @@ class Span:
     dur_s: float
     cat: str = "sim"
     args: tuple = ()  # sorted (key, value) items; JSON-safe values
+    #: Request-scoped trace context (None for un-attributed spans).
+    ctx: Optional[TraceContext] = None
+    #: Extra incoming-flow sources: span ids this span causally follows
+    #: beyond its ctx parent (e.g. every member of a merged micro-batch).
+    links: tuple = ()
 
     @property
     def end_s(self) -> float:
@@ -47,6 +53,7 @@ class Instant:
     ts_s: float
     cat: str = "sim"
     args: tuple = ()
+    ctx: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,8 @@ class Tracer:
         cat: str = "sim",
         args: Optional[Dict[str, object]] = None,
         advance: bool = True,
+        ctx: Optional[TraceContext] = None,
+        links: tuple = (),
     ) -> Span:
         """Record a completed interval.
 
@@ -116,6 +125,8 @@ class Tracer:
             dur_s=float(dur_s),
             cat=cat,
             args=_freeze_args(args),
+            ctx=ctx,
+            links=tuple(int(link) for link in links),
         )
         self.track_id(track)
         self.spans.append(span)
@@ -131,6 +142,7 @@ class Tracer:
         ts_s: Optional[float] = None,
         cat: str = "sim",
         args: Optional[Dict[str, object]] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Instant:
         ev = Instant(
             track=track,
@@ -138,6 +150,7 @@ class Tracer:
             ts_s=self.clock.now() if ts_s is None else float(ts_s),
             cat=cat,
             args=_freeze_args(args),
+            ctx=ctx,
         )
         self.track_id(track)
         self.instants.append(ev)

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.config import KernelVariant, Platform, RunConfig
 from repro.core.results import BatchedRunResult, RunResult
 from repro.forest.metrics import accuracy_score
+from repro.obs.protocol import ensure_observer
 from repro.reliability.faults import FaultPlan, TransientKernelError
 from repro.reliability.integrity import (
     LayoutIntegrityError,
@@ -293,10 +294,14 @@ class ResilientClassifier:
         self.fault_plan = fault_plan
         self.verify_before_launch = bool(verify_before_launch)
         self.verify_after_transfer = bool(verify_after_transfer)
-        #: Observability sink (duck-typed, e.g. repro.obs.ObsSession):
-        #: forwarded to each kernel launch, and ``on_guarded_call(result,
-        #: report)`` fires once per guarded call with the final accounting.
+        #: Observability sink (e.g. repro.obs.ObsSession): forwarded to
+        #: each kernel launch; ``on_rung_attempt`` fires per retry and
+        #: ``on_guarded_call(result, report)`` once per guarded call with
+        #: the final accounting.  ``self.observer`` keeps the raw object
+        #: (the session adapts it per-run); ``self._obs`` is the typed
+        #: adapter the guard's own hooks go through.
         self.observer = observer
+        self._obs = ensure_observer(observer)
         self._rng = as_rng(seed)
         self.breakers: Dict[Platform, CircuitBreaker] = {
             p: CircuitBreaker(breaker, p.value) for p in Platform
@@ -456,8 +461,7 @@ class ResilientClassifier:
         if y_true is not None:
             result.accuracy = accuracy_score(y_true, result.predictions)
         result.reliability = report
-        if self.observer is not None:
-            self.observer.on_guarded_call(result, report)
+        self._obs.on_guarded_call(result, report)
         return result
 
     def _run_rung(
@@ -470,6 +474,7 @@ class ResilientClassifier:
         """Retry loop on one rung's plan; None means the rung gave up."""
         for attempt in range(self.retry.max_attempts):
             report.attempts += 1
+            self._obs.on_rung_attempt(plan, attempt, report.retries)
             try:
                 res = self._attempt(X, plan, report)
                 report.note_transition(breaker.name, breaker.record_success())

@@ -28,6 +28,7 @@ from repro.gpusim.device import GPUSpec, TITAN_XP
 from repro.kernels import kernel_for
 from repro.layout.csr import CSRForest
 from repro.layout.hierarchical import HierarchicalForest
+from repro.obs.protocol import ensure_observer
 from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan, PlanError
 
 
@@ -105,8 +106,8 @@ def _run_fastpath(plan, layout, X, launch_gate, observer) -> BackendOutput:
         verify_layout_integrity(layout)
     preds, stats = fastpath_predict(layout, X)
     seconds = fastpath_seconds(stats.lane_levels) + hang_s
-    if observer is not None and hasattr(observer, "on_fastpath"):
-        observer.on_fastpath(plan, stats, seconds)
+    if observer is not None:
+        ensure_observer(observer).on_fastpath(plan, stats, seconds)
     return BackendOutput(
         predictions=preds,
         seconds=seconds,

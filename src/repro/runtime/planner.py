@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.config import TRACE_MODEL, TRACE_OFF, KernelVariant, Platform, RunConfig
 from repro.fpgasim.replication import FULL_4S12C, HYBRID_SPLIT_4S10C, Replication
 from repro.layout.hierarchical import LayoutParams
+from repro.obs.protocol import ensure_observer
 from repro.runtime.cost import (
     WorkloadProfile,
     estimate_plan_cost,
@@ -156,6 +157,7 @@ class Planner:
             "cache_hits": 0,
             "cache_writes": 0,
             "cache_evictions": 0,
+            "drift_invalidations": 0,
         }
 
     # ------------------------------------------------------------------
@@ -330,8 +332,44 @@ class Planner:
         )
 
     def _notify(self, plan: ExecutionPlan) -> None:
-        if self.observer is not None and hasattr(self.observer, "on_plan"):
-            self.observer.on_plan(plan)
+        if self.observer is not None:
+            ensure_observer(self.observer).on_plan(plan)
+
+    # ------------------------------------------------------------------
+    def invalidate_cached_plans(
+        self, platform: Optional[Platform] = None, trace: str = TRACE_MODEL
+    ) -> int:
+        """Drop this session's cached plans for one trace mode.
+
+        The cost-drift path: when observed kernel seconds no longer match
+        the model that ranked the cached plan, the entry is stale by
+        construction — remove it so the next ``variant="auto"`` decision
+        re-probes real kernels.  Scoped to this planner's forest
+        fingerprint, dataset-independent prefix and probe settings, so
+        other sessions' entries survive.  Returns the number of files
+        removed (also accumulated in ``stats["drift_invalidations"]``).
+        """
+        root = self.cache_dir or default_plan_cache_dir()
+        if not os.path.isdir(root):
+            return 0
+        fp = forest_fingerprint(self.session.trees)
+        mode = "_serve" if trace == TRACE_OFF else ""
+        platforms = [platform] if platform is not None else list(Platform)
+        prefixes = tuple(
+            f"plan_{p.value}{mode}_f{fp:08x}_" for p in platforms
+        )
+        suffix = f"_p{self.probe_queries}_s{self.seed}.json"
+        removed = 0
+        for name in sorted(os.listdir(root)):
+            if not (name.startswith(prefixes) and name.endswith(suffix)):
+                continue
+            try:
+                os.remove(os.path.join(root, name))
+                removed += 1
+            except OSError:
+                pass  # best-effort: a vanished entry is already invalid
+        self.stats["drift_invalidations"] += removed
+        return removed
 
     # ------------------------------------------------------------------
     # Plan cache

@@ -19,6 +19,7 @@ from repro.core.results import RunResult
 from repro.forest.metrics import accuracy_score
 from repro.fpgasim.device import ALVEO_U250, FPGASpec
 from repro.gpusim.device import GPUSpec, TITAN_XP
+from repro.obs.protocol import ensure_observer
 from repro.runtime.backends import Backend, backend_for, default_backends
 from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan, PlanError, check_pair
 
@@ -154,6 +155,8 @@ class RuntimeSession:
         backend = backend_for(self.backends, plan)
         if observer is None:
             observer = self.observer
+        if observer is not None:
+            observer = ensure_observer(observer)
         if config is None:
             config = plan.to_run_config()  # raises PlanError for cpu plans
 
@@ -202,7 +205,7 @@ class RuntimeSession:
             details["transfer_query_roundtrip_s"] = roundtrip
             details["transfer_layout_upload_s"] = tm.upload_layout_seconds(layout)
             seconds = seconds + roundtrip
-            if observer is not None and hasattr(observer, "on_transfer"):
+            if observer is not None:
                 observer.on_transfer(
                     "query-roundtrip",
                     roundtrip,

@@ -32,10 +32,13 @@ from repro.serving.batching import (
     calibrate_latency_model,
 )
 from repro.serving.chaos import (
+    ChaosReplay,
     ChaosScenario,
     default_scenarios,
+    replay_scenario,
     run_scenario,
     survivability_report,
+    wrong_answer_ids,
 )
 from repro.serving.frontdoor import ServingFrontDoor
 from repro.serving.request import (
@@ -60,10 +63,13 @@ __all__ = [
     "LatencyModel",
     "MicroBatcher",
     "calibrate_latency_model",
+    "ChaosReplay",
     "ChaosScenario",
     "default_scenarios",
+    "replay_scenario",
     "run_scenario",
     "survivability_report",
+    "wrong_answer_ids",
     "ServingFrontDoor",
     "Overload",
     "Request",

@@ -31,8 +31,10 @@ import numpy as np
 
 from repro.baselines.cpu_reference import reference_predict
 from repro.core.config import KernelVariant, Platform, RunConfig
+from repro.obs.context import mix64
 from repro.reliability.faults import FaultPlan
 from repro.reliability.guard import ResilientClassifier
+from repro.runtime.drift import CostDriftMonitor
 from repro.runtime.plan import CPU_PLATFORM
 from repro.serving.admission import AdmissionPolicy
 from repro.serving.batching import BatchPolicy
@@ -96,7 +98,26 @@ def _percentile(values: List[float], q: float) -> float:
     return _round(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
-def run_scenario(
+@dataclass
+class ChaosReplay:
+    """One scenario's full replay state (the report is a projection)."""
+
+    scenario: ChaosScenario
+    front: ServingFrontDoor
+    requests: Dict[int, Request]
+    responses: List[Response]
+    fault_plan: FaultPlan
+    #: Final simulated time (the SLO engine's evaluation horizon).
+    horizon_s: float = 0.0
+
+    def report(self) -> Dict[str, object]:
+        return survivability_report(
+            self.scenario, self.front, self.requests, self.responses,
+            self.fault_plan,
+        )
+
+
+def replay_scenario(
     classifier,
     X_pool: np.ndarray,
     scenario: ChaosScenario,
@@ -104,14 +125,19 @@ def run_scenario(
     batching: BatchPolicy = BatchPolicy(),
     observer=None,
     deadline_guard_s: Optional[float] = 1.0,
-) -> Dict[str, object]:
-    """Replay one scenario end to end; returns its survivability report.
+    drift: Optional[CostDriftMonitor] = None,
+) -> ChaosReplay:
+    """Replay one scenario end to end; returns the full replay state.
 
     ``classifier`` is a fitted
     :class:`~repro.core.classifier.HierarchicalForestClassifier` (fresh per
     scenario — corruption mutates its device layouts in place).  ``X_pool``
     supplies request rows: each arrival takes the next contiguous slice,
     wrapping around, so the row content is as deterministic as the trace.
+
+    The front door's trace seed is derived from the scenario's two seeds,
+    so per-request trace ids are themselves a pure function of the
+    scenario — two replays emit byte-identical Chrome traces.
     """
     X_pool = np.ascontiguousarray(X_pool, dtype=np.float32)
     profile = scenario.traffic_profile()
@@ -136,6 +162,8 @@ def run_scenario(
         batching=batching,
         probe_X=X_pool[: min(64, X_pool.shape[0])],
         observer=observer,
+        trace_seed=mix64("chaos", scenario.traffic_seed, scenario.fault_seed),
+        drift=drift,
     )
 
     # Corrupt the accelerator layouts up front (the DMA-error model): the
@@ -172,9 +200,60 @@ def run_scenario(
         responses.extend(front.pump())
     responses.extend(front.drain())
 
-    return survivability_report(
-        scenario, front, requests, responses, fault_plan
+    return ChaosReplay(
+        scenario=scenario,
+        front=front,
+        requests=requests,
+        responses=responses,
+        fault_plan=fault_plan,
+        horizon_s=clock.now(),
     )
+
+
+def run_scenario(
+    classifier,
+    X_pool: np.ndarray,
+    scenario: ChaosScenario,
+    admission: AdmissionPolicy = AdmissionPolicy(),
+    batching: BatchPolicy = BatchPolicy(),
+    observer=None,
+    deadline_guard_s: Optional[float] = 1.0,
+) -> Dict[str, object]:
+    """Replay one scenario and project it onto the survivability report."""
+    return replay_scenario(
+        classifier,
+        X_pool,
+        scenario,
+        admission=admission,
+        batching=batching,
+        observer=observer,
+        deadline_guard_s=deadline_guard_s,
+    ).report()
+
+
+def wrong_answer_ids(
+    front: ServingFrontDoor,
+    requests: Dict[int, Request],
+    responses: List[Response],
+) -> Dict[str, List[int]]:
+    """Request ids whose served predictions diverge from the host trees.
+
+    ``wrong`` (non-degraded divergence — a correctness violation) and
+    ``degraded_divergence`` (explicitly-flagged quorum approximations,
+    allowed to differ) are kept apart, exactly as the survivability
+    report counts them.
+    """
+    wrong: List[int] = []
+    degraded: List[int] = []
+    trees = front.guard.inner.trees
+    for resp in responses:
+        if not resp.ok:
+            continue
+        ref = reference_predict(trees, requests[resp.request_id].X)
+        if np.array_equal(resp.predictions, ref):
+            continue
+        (degraded if resp.degraded else wrong).append(resp.request_id)
+    return {"wrong": wrong, "degraded_divergence": degraded}
 
 
 def survivability_report(
@@ -188,17 +267,9 @@ def survivability_report(
     stats = front.stats
     served = [r for r in responses if r.ok]
     latencies = [r.latency_s for r in served]
-    wrong = 0
-    degraded_divergence = 0
-    trees = front.guard.inner.trees
-    for resp in served:
-        ref = reference_predict(trees, requests[resp.request_id].X)
-        if np.array_equal(resp.predictions, ref):
-            continue
-        if resp.degraded:
-            degraded_divergence += 1
-        else:
-            wrong += 1
+    divergence = wrong_answer_ids(front, requests, responses)
+    wrong = len(divergence["wrong"])
+    degraded_divergence = len(divergence["degraded_divergence"])
 
     submitted_or_rejected = stats.submitted + stats.total_rejected
     fault_kinds: Dict[str, int] = {}

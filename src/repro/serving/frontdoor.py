@@ -29,8 +29,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import TRACE_OFF, KernelVariant, Platform, RunConfig
+from repro.obs.context import TraceContext
+from repro.obs.protocol import ensure_observer
 from repro.reliability.guard import BreakerState, ResilientClassifier
 from repro.runtime.backends import CPUBackend
+from repro.runtime.drift import CostDriftMonitor
 from repro.runtime.plan import CPU_PLATFORM, ExecutionPlan
 from repro.serving.admission import AdmissionController, AdmissionPolicy
 from repro.serving.batching import (
@@ -78,9 +81,22 @@ class ServingFrontDoor:
         (``trace="model"``) for profiling traffic.  Overrides whatever
         ``config`` carries.
     observer:
-        Duck-typed observability sink (e.g. :class:`repro.obs.ObsSession`):
-        ``on_response(response)``, ``on_serving_batch(rows, seconds,
-        platform, hedged)`` and ``on_queue_depth(depth)`` fire when present.
+        Observability sink adapted once through
+        :func:`repro.obs.protocol.ensure_observer` — anything from a full
+        :class:`repro.obs.ObsSession` to a partial duck-typed double.
+        The front door fires ``on_request_admitted``, ``on_batch_start``,
+        ``on_serving_batch``, ``on_response`` and ``on_queue_depth``.
+    trace_seed:
+        Seed for the deterministic per-request :class:`TraceContext` ids
+        (pure integer mixing — minting contexts never touches the clock
+        or any RNG, so serving histories replay unchanged).
+    drift:
+        Optional :class:`CostDriftMonitor`.  When present, every executed
+        batch records the active rung's predicted seconds against the
+        observed execution; if a (platform, variant) key drifts past the
+        monitor's threshold the front door invalidates the planner's
+        cached plans and re-resolves its config (a fresh autotune probe)
+        before the next batch.
     """
 
     def __init__(
@@ -93,13 +109,21 @@ class ServingFrontDoor:
         probe_X: Optional[np.ndarray] = None,
         trace: str = TRACE_OFF,
         observer=None,
+        trace_seed: int = 0,
+        drift: Optional[CostDriftMonitor] = None,
     ):
         self.guard = guard
         self.clock = clock if clock is not None else SimulatedClock()
         self.observer = observer
+        self._obs = ensure_observer(observer)
+        self.drift = drift
+        self._trace_seed = int(trace_seed)
         self.stats = ServingStats()
         self._admission = AdmissionController(admission, now=self.clock.now())
         self._config = replace(config, trace=trace)
+        #: What the caller asked for, pre-resolution — drift re-probes
+        #: restore it so ``variant="auto"`` goes back through the planner.
+        self._requested_config = self._config
         self._models: Optional[List[Tuple[str, LatencyModel]]] = None
         self._next_id = 0
         self._batch_id = 0
@@ -210,12 +234,14 @@ class ServingFrontDoor:
             X=np.ascontiguousarray(X, dtype=np.float32),
             arrival_s=now,
             deadline_s=None if deadline_s is None else now + deadline_s,
+            trace=TraceContext.for_request(self._trace_seed, self._next_id),
         )
         self._next_id += 1
         self._batcher.add(request)
         self.stats.max_queue_depth = max(
             self.stats.max_queue_depth, self._batcher.depth
         )
+        self._obs.on_request_admitted(request)
         self._note_queue_depth()
         return request
 
@@ -300,6 +326,10 @@ class ServingFrontDoor:
             if len(members) == 1
             else np.concatenate([r.X for r in members])
         )
+        batch_ctx = None
+        if members[0].trace is not None:
+            batch_ctx = members[0].trace.child("batch", self._batch_id + 1)
+        self._obs.on_batch_start(batch_ctx, self._batch_id + 1, members, now)
         min_slack = min(r.slack(now) for r in members)
         saved_deadline = self.guard.deadline_s
         if min_slack != float("inf"):
@@ -317,10 +347,21 @@ class ServingFrontDoor:
         if hedged:
             self.stats.hedged_batches += 1
         self._batch_id += 1
-        if self.observer is not None and hasattr(self.observer, "on_serving_batch"):
-            self.observer.on_serving_batch(
-                int(X.shape[0]), elapsed, report.platform_used, hedged
+        self._obs.on_serving_batch(
+            int(X.shape[0]), elapsed, report.platform_used, hedged
+        )
+        if self.drift is not None:
+            # Score the rung that was *predicted* to serve (its latency
+            # model formed this batch) against what execution actually
+            # cost.  A drifted key triggers one plan-cache re-probe.
+            drifted = self.drift.record(
+                platform,
+                self._config.variant.value,
+                model.seconds_for(int(X.shape[0])),
+                result.seconds,
             )
+            if drifted:
+                self._reprobe_cost_models()
 
         # 6. Split the merged predictions back onto the members; a member
         #    whose deadline passed during execution is NOT served late.
@@ -346,6 +387,7 @@ class ServingFrontDoor:
                     degraded=report.degraded,
                     fallback_depth=report.fallback_depth,
                     hedged=hedged,
+                    trace=req.trace,
                 )
                 self.stats.served += 1
                 if report.degraded:
@@ -355,6 +397,22 @@ class ServingFrontDoor:
             responses.append(resp)
             lo = hi
         return responses
+
+    # ------------------------------------------------------------------
+    def _reprobe_cost_models(self) -> None:
+        """Throw away drifted plans and latency models; re-resolve lazily.
+
+        Fired by the drift monitor.  Cached plans for the serving trace
+        mode are invalidated so the next auto-resolution re-probes real
+        kernels instead of trusting a stale cache, and the latency models
+        recalibrate from the next batch's rows.
+        """
+        planner = self.guard.inner.planner
+        planner.invalidate_cached_plans(trace=self._config.trace)
+        self._config = replace(
+            self._requested_config, trace=self._config.trace
+        )
+        self._models = None
 
     # ------------------------------------------------------------------
     def _shed(
@@ -368,14 +426,13 @@ class ServingFrontDoor:
             predictions=None,
             arrival_s=req.arrival_s,
             finish_s=finish_s,
+            trace=req.trace,
         )
         self._emit(resp)
         return resp
 
     def _emit(self, response: Response) -> None:
-        if self.observer is not None and hasattr(self.observer, "on_response"):
-            self.observer.on_response(response)
+        self._obs.on_response(response)
 
     def _note_queue_depth(self) -> None:
-        if self.observer is not None and hasattr(self.observer, "on_queue_depth"):
-            self.observer.on_queue_depth(self._batcher.depth)
+        self._obs.on_queue_depth(self._batcher.depth)

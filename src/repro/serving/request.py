@@ -17,6 +17,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.context import TraceContext
+
 
 class RequestStatus(str, enum.Enum):
     """Terminal state of one request (exactly one per request)."""
@@ -68,6 +70,9 @@ class Request:
     arrival_s: float
     #: Absolute simulated-clock deadline (None = no deadline).
     deadline_s: Optional[float] = None
+    #: Root trace context minted at admission (seed-derived ids; the
+    #: whole request tree — queue, batch, guard, kernels — hangs off it).
+    trace: Optional[TraceContext] = None
 
     @property
     def rows(self) -> int:
@@ -104,6 +109,8 @@ class Response:
     hedged: bool = False
     #: Micro-batch this request rode in (-1 for queue-time sheds).
     batch_id: int = -1
+    #: The request's root trace context (carried through from admission).
+    trace: Optional[TraceContext] = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +131,7 @@ class Response:
             "fallback_depth": self.fallback_depth,
             "hedged": self.hedged,
             "batch_id": self.batch_id,
+            "trace_id": self.trace.trace_hex if self.trace else "",
         }
 
 

@@ -6,6 +6,14 @@ returns is invisible to ``python -m repro.obs diff`` — its numbers exist
 only in scrollback.  OBS001 closes that gap statically: any experiment
 entry point must route its rows through
 :func:`repro.experiments.common.emit_manifest`.
+
+OBS002 guards the hook dispatch itself: observer hooks guarded by string
+``hasattr(obs, "on_...")`` checks silently drop events when a hook name is
+typo'd — a misspelled hook is indistinguishable from an observer that
+opted out.  The typed :class:`repro.obs.protocol.Observer` surface
+(adapted once via ``ensure_observer``) makes the same mistake an
+``AttributeError`` at adapter-construction or a visible no-op, so the
+string-probing pattern is banned repo-wide.
 """
 
 from __future__ import annotations
@@ -59,3 +67,36 @@ class RunManifestRule(Rule):
             "experiment entry point must leave a JSONL run manifest so "
             "`python -m repro.obs diff` can compare runs",
         )
+
+
+@register
+class DuckTypedHookRule(Rule):
+    id = "OBS002"
+    summary = (
+        "observer hooks must not be dispatched through string hasattr "
+        "probes; adapt once via repro.obs.protocol.ensure_observer"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or len(node.args) < 2:
+                continue
+            name = call_name(node, ctx.aliases)
+            if not name or last_segment(name) != "hasattr":
+                continue
+            probe = node.args[1]
+            if not (
+                isinstance(probe, ast.Constant)
+                and isinstance(probe.value, str)
+                and probe.value.startswith("on_")
+            ):
+                continue
+            yield ctx.violation(
+                node,
+                self.id,
+                f'hasattr(..., "{probe.value}") duck-types an observer '
+                "hook: a typo'd hook name silently disables observability. "
+                "Adapt the observer once with "
+                "repro.obs.protocol.ensure_observer and call the hook "
+                "directly",
+            )

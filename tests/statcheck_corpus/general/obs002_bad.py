@@ -1,0 +1,17 @@
+"""BAD: observer hooks dispatched through string hasattr probes."""
+
+
+def emit(observer, response):
+    if observer is not None and hasattr(observer, "on_response"):  # OBS002
+        observer.on_response(response)
+
+
+def note_depth(self, depth):
+    if hasattr(self.observer, "on_queue_depth"):  # OBS002
+        self.observer.on_queue_depth(depth)
+
+
+def notify(obs, plan):
+    # A typo'd name here ("on_pla") would silently drop every event.
+    if obs and hasattr(obs, "on_plan"):  # OBS002
+        obs.on_plan(plan)

@@ -1,0 +1,19 @@
+"""GOOD: the observer is adapted once; hooks are called directly."""
+
+from repro.obs.protocol import ensure_observer
+
+
+class FrontDoor:
+    def __init__(self, observer=None):
+        self._obs = ensure_observer(observer)
+
+    def emit(self, response):
+        self._obs.on_response(response)
+
+    def note_depth(self, depth):
+        self._obs.on_queue_depth(depth)
+
+
+def has_layout_field(layout):
+    # hasattr on non-hook attributes is fine; OBS002 only guards hooks.
+    return hasattr(layout, "tree_offset")

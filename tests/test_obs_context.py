@@ -1,0 +1,192 @@
+"""TraceContext identity, flow arrows, exemplars and exporter escaping."""
+
+import json
+
+import pytest
+
+from repro.obs.context import TraceContext, hex64, mix64
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    render_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.utils.clock import SimulatedClock
+
+
+class TestMix64:
+    def test_deterministic_and_order_sensitive(self):
+        assert mix64("trace", 7, 3) == mix64("trace", 7, 3)
+        assert mix64("trace", 7, 3) != mix64("trace", 3, 7)
+        assert mix64("a", 1) != mix64("b", 1)
+
+    def test_never_zero(self):
+        # Zero ids are invalid in most trace formats; mix64 maps 0 -> 1.
+        assert all(mix64("x", i) != 0 for i in range(1000))
+
+    def test_hex64_is_16_lower_hex_chars(self):
+        h = hex64(mix64("trace", 0, 0))
+        assert len(h) == 16
+        assert h == h.lower()
+        int(h, 16)
+
+
+class TestTraceContext:
+    def test_for_request_derives_from_seed_and_id(self):
+        a = TraceContext.for_request(1, 0)
+        b = TraceContext.for_request(1, 0)
+        c = TraceContext.for_request(1, 1)
+        d = TraceContext.for_request(2, 0)
+        assert a == b
+        assert a.trace_id not in (c.trace_id, d.trace_id)
+        assert a.parent_span_id is None
+
+    def test_child_links_to_parent(self):
+        root = TraceContext.for_request(5, 9)
+        child = root.child("batch", 3)
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert child.span_id != root.span_id
+        # Distinct names/ordinals give distinct span ids.
+        assert child.span_id != root.child("batch", 4).span_id
+        assert child.span_id != root.child("queue", 3).span_id
+
+    def test_as_args_round_trips_hex(self):
+        ctx = TraceContext.for_request(1, 2).child("guard")
+        args = ctx.as_args()
+        assert args["trace_id"] == ctx.trace_hex
+        assert args["span_id"] == ctx.span_hex
+        assert args["parent_span_id"] == hex64(ctx.parent_span_id)
+
+
+class TestFlowArrows:
+    def _tracer(self):
+        return Tracer(clock=SimulatedClock())
+
+    def test_cross_track_parent_emits_flow_pair(self):
+        tracer = self._tracer()
+        root = TraceContext.for_request(1, 0)
+        child = root.child("work")
+        tracer.add_span("a", "parent", 1.0, start_s=0.0, advance=False,
+                        ctx=root)
+        tracer.add_span("b", "child", 0.5, start_s=0.25, advance=False,
+                        ctx=child)
+        events = chrome_trace_events(tracer)
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == 1 and len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert finishes[0]["bp"] == "e"
+        # Arrow binds inside the source span and lands at the child start.
+        assert starts[0]["ts"] <= finishes[0]["ts"]
+        assert finishes[0]["ts"] == pytest.approx(0.25 * 1e6)
+
+    def test_same_track_parent_draws_no_arrow(self):
+        tracer = self._tracer()
+        root = TraceContext.for_request(1, 0)
+        tracer.add_span("a", "parent", 1.0, start_s=0.0, advance=False,
+                        ctx=root)
+        tracer.add_span("a", "child", 0.5, start_s=0.25, advance=False,
+                        ctx=root.child("work"))
+        events = chrome_trace_events(tracer)
+        assert not [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_explicit_links_emit_arrows(self):
+        tracer = self._tracer()
+        q = TraceContext.for_request(1, 0).child("queue")
+        tracer.add_span("requests/t", "queue", 0.2, start_s=0.0,
+                        advance=False, ctx=q)
+        tracer.add_span("serving", "batch", 0.3, start_s=0.2,
+                        advance=False, links=(q.span_id,))
+        events = chrome_trace_events(tracer)
+        assert len([e for e in events if e["ph"] == "s"]) == 1
+
+    def test_ctx_args_stamped_on_spans(self):
+        tracer = self._tracer()
+        ctx = TraceContext.for_request(1, 0)
+        tracer.add_span("a", "x", 1.0, start_s=0.0, advance=False, ctx=ctx)
+        (span_event,) = [
+            e for e in chrome_trace_events(tracer) if e["ph"] == "X"
+        ]
+        assert span_event["args"]["trace_id"] == ctx.trace_hex
+
+    def test_render_is_valid_json_and_deterministic(self):
+        def build():
+            tracer = self._tracer()
+            root = TraceContext.for_request(3, 1)
+            tracer.add_span("a", "p", 1.0, start_s=0.0, advance=False,
+                            ctx=root)
+            tracer.add_span("b", "c", 0.5, start_s=0.5, advance=False,
+                            ctx=root.child("c"))
+            return render_chrome_trace(tracer)
+
+        one, two = build(), build()
+        assert one == two
+        json.loads(one)
+
+
+class TestHistogramExemplars:
+    def test_observe_records_exemplar_in_matching_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "x", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.5, exemplar="aaaa", tenant="t")
+        h.observe(5.0, exemplar="bbbb", tenant="t")
+        ex = h.exemplars(tenant="t")
+        assert ex[1] == [(0.5, "aaaa")]
+        assert ex[2] == [(5.0, "bbbb")]
+
+    def test_bucket_keeps_largest_observations(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "x", buckets=(10.0,))
+        for i in range(10):
+            h.observe(float(i), exemplar=f"t{i}")
+        cell = h.exemplars()[0]
+        assert len(cell) == h.MAX_EXEMPLARS_PER_BUCKET
+        assert cell[0] == (9.0, "t9")  # worst observation survives
+
+    def test_observe_without_exemplar_keeps_old_behavior(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "x", buckets=(1.0,))
+        h.observe(0.5)
+        assert h.exemplars() == {}
+
+
+class TestPrometheusRendering:
+    def test_label_values_are_escaped(self):
+        # Regression: backslash, double-quote and newline must be escaped
+        # or the exposition is unparseable.
+        reg = MetricsRegistry()
+        reg.counter("events", "x").inc(
+            1.0, reason='bad "input"\npath\\x'
+        )
+        text = prometheus_text(reg)
+        (line,) = [
+            l for l in text.splitlines() if l.startswith("events{")
+        ]
+        assert '\\"input\\"' in line
+        assert "\\n" in line and "\n" not in line[:-1].split("} ")[0]
+        assert "\\\\x" in line
+
+    def test_exemplar_rendered_on_bucket_line_only(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "x", buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar="deadbeefdeadbeef")
+        text = prometheus_text(reg)
+        bucket_lines = [
+            l for l in text.splitlines() if "lat_bucket" in l
+        ]
+        tagged = [l for l in bucket_lines if "# {" in l]
+        assert len(tagged) == 1
+        assert 'trace_id="deadbeefdeadbeef"' in tagged[0]
+        assert tagged[0].rstrip().endswith("0.5")
+        # count/sum lines never carry exemplars.
+        assert not any(
+            "# {" in l for l in text.splitlines()
+            if "lat_count" in l or "lat_sum" in l
+        )
+
+    def test_exemplar_free_registry_renders_as_before(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", "x", buckets=(1.0,)).observe(0.5)
+        assert "# {" not in prometheus_text(reg)

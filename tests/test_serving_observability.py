@@ -1,0 +1,247 @@
+"""Typed observer protocol + frontdoor hook counts under chaos.
+
+Two layers of contract:
+
+* :func:`ensure_observer` adapts anything (None, a subclass, a partial
+  duck-typed double) to the full hook surface exactly once;
+* every front-door hook fires exactly as often as the survivability
+  report says it should — the counts an operator reads in the report and
+  the events an observer saw are the same history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HierarchicalForestClassifier
+from repro.forest.tree import random_tree
+from repro.obs.protocol import (
+    HOOKS,
+    NULL_OBSERVER,
+    Observer,
+    PartialObserver,
+    ensure_observer,
+)
+from repro.serving import ChaosScenario, TrafficProfile
+from repro.serving.chaos import replay_scenario
+
+N_FEATURES = 12
+
+
+# ----------------------------------------------------------------------
+# ensure_observer
+# ----------------------------------------------------------------------
+class TestEnsureObserver:
+    def test_hook_surface_is_complete(self):
+        assert len(HOOKS) == 12
+        assert all(name.startswith("on_") for name in HOOKS)
+
+    def test_none_maps_to_shared_noop(self):
+        assert ensure_observer(None) is NULL_OBSERVER
+
+    def test_subclass_passes_through_by_identity(self):
+        class Mine(Observer):
+            pass
+
+        obs = Mine()
+        assert ensure_observer(obs) is obs
+
+    def test_complete_duck_passes_through(self):
+        class Duck:
+            pass
+
+        duck = Duck()
+        for name in HOOKS:
+            setattr(duck, name, lambda *a, **k: None)
+        assert ensure_observer(duck) is duck
+
+    def test_partial_duck_is_wrapped(self):
+        class OnlyResponses:
+            def __init__(self):
+                self.seen = []
+
+            def on_response(self, response):
+                self.seen.append(response)
+
+        inner = OnlyResponses()
+        wrapped = ensure_observer(inner)
+        assert isinstance(wrapped, PartialObserver)
+        # Present hooks dispatch to the inner object...
+        wrapped.on_response("resp")
+        assert inner.seen == ["resp"]
+        # ...and missing hooks are silent no-ops, not AttributeErrors.
+        wrapped.on_queue_depth(3)
+        wrapped.on_serving_batch(4, 0.01, "gpu", False)
+
+    def test_wrapping_is_idempotent(self):
+        class OnlyResponses:
+            def on_response(self, response):
+                pass
+
+        wrapped = ensure_observer(OnlyResponses())
+        assert ensure_observer(wrapped) is wrapped
+
+    def test_base_hooks_are_noops(self):
+        obs = Observer()
+        obs.on_response("x")
+        obs.on_queue_depth(1)
+        obs.on_batch_start(None, 1, [], 0.0)
+
+
+# ----------------------------------------------------------------------
+# Frontdoor hooks under chaos
+# ----------------------------------------------------------------------
+class CountingObserver(Observer):
+    """Full-surface observer recording every serving hook invocation."""
+
+    def __init__(self):
+        self.admitted = []
+        self.batch_starts = []
+        self.batches = []
+        self.responses = []
+        self.queue_depths = []
+
+    def on_request_admitted(self, request):
+        self.admitted.append(request)
+
+    def on_batch_start(self, ctx, batch_id, members, start_s):
+        self.batch_starts.append((ctx, batch_id, list(members), start_s))
+
+    def on_serving_batch(self, rows, seconds, platform, hedged):
+        self.batches.append((rows, seconds, platform, hedged))
+
+    def on_response(self, response):
+        self.responses.append(response)
+
+    def on_queue_depth(self, depth):
+        self.queue_depths.append(depth)
+
+
+class DuckCounts:
+    """Partial duck-typed double: only two hooks, no base class."""
+
+    def __init__(self):
+        self.responses = 0
+        self.batches = 0
+
+    def on_response(self, response):
+        self.responses += 1
+
+    def on_serving_batch(self, rows, seconds, platform, hedged):
+        self.batches += 1
+
+
+def chaos_scenario():
+    return ChaosScenario(
+        name="obs-recon",
+        traffic_seed=31,
+        fault_seed=32,
+        launch_fail_rate=0.15,
+        launch_hang_rate=0.05,
+        hang_seconds=0.02,
+        custom=TrafficProfile(
+            name="obs-recon", duration_s=0.15, base_qps=400.0,
+            deadline_s=0.05,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def observed_replay():
+    rng = np.random.default_rng(47)
+    trees = [
+        random_tree(rng, N_FEATURES, 10, leaf_prob=0.2, min_nodes=3)
+        for _ in range(10)
+    ]
+    X = rng.standard_normal((256, N_FEATURES)).astype(np.float32)
+    clf = HierarchicalForestClassifier.from_trees(trees, N_FEATURES)
+    observer = CountingObserver()
+    replay = replay_scenario(clf, X, chaos_scenario(), observer=observer)
+    return observer, replay
+
+
+class TestHookReconciliation:
+    def test_every_admitted_request_fires_the_hook(self, observed_replay):
+        observer, replay = observed_replay
+        report = replay.report()
+        assert len(observer.admitted) == report["requests"]["admitted"]
+        assert len(observer.admitted) == replay.front.stats.submitted
+        assert [r.request_id for r in observer.admitted] == sorted(
+            replay.requests
+        )
+
+    def test_batch_hooks_match_execution_counters(self, observed_replay):
+        observer, replay = observed_replay
+        report = replay.report()
+        assert len(observer.batches) == report["execution"]["batches"]
+        assert len(observer.batch_starts) == len(observer.batches)
+        assert report["execution"]["batches"] > 0
+        hedged = sum(1 for *_rest, h in observer.batches if h)
+        assert hedged == report["execution"]["hedged_batches"]
+
+    def test_every_terminal_outcome_fires_on_response(self, observed_replay):
+        observer, replay = observed_replay
+        report = replay.report()
+        assert len(observer.responses) == len(replay.responses)
+        served = sum(1 for r in observer.responses if r.ok)
+        shed = sum(1 for r in observer.responses if not r.ok)
+        assert served == report["requests"]["served"]
+        assert shed == sum(report["requests"]["shed"].values())
+        # The scenario actually exercised both outcomes.
+        assert served > 0
+
+    def test_queue_depth_sampled_at_least_per_admission(
+        self, observed_replay
+    ):
+        observer, replay = observed_replay
+        assert len(observer.queue_depths) >= len(observer.admitted)
+        assert max(observer.queue_depths) <= max(
+            replay.front.stats.max_queue_depth, 1
+        )
+        assert all(d >= 0 for d in observer.queue_depths)
+
+    def test_batch_members_reconcile_with_served_rows(self, observed_replay):
+        observer, replay = observed_replay
+        report = replay.report()
+        rows_from_hooks = sum(rows for rows, *_ in observer.batches)
+        assert rows_from_hooks == report["execution"]["rows_executed"]
+        members = sum(len(m) for _, _, m, _ in observer.batch_starts)
+        # Every batched member terminates (served or late-shed), and no
+        # queue-time shed ever reaches a batch.
+        batched_ids = {
+            r.request_id
+            for _, _, m, _ in observer.batch_starts
+            for r in m
+        }
+        for resp in replay.responses:
+            if resp.batch_id >= 0:
+                assert resp.request_id in batched_ids
+            else:
+                assert resp.request_id not in batched_ids
+        assert members == len(batched_ids)
+
+    def test_every_batch_start_carries_a_trace_ctx(self, observed_replay):
+        observer, _ = observed_replay
+        for ctx, batch_id, members, start_s in observer.batch_starts:
+            assert ctx is not None
+            assert batch_id >= 1
+            assert members
+            # The batch ctx descends from the first member's request trace.
+            assert ctx.trace_id == members[0].trace.trace_id
+            assert ctx.parent_span_id == members[0].trace.span_id
+            assert start_s >= max(m.arrival_s for m in members)
+
+    def test_partial_duck_observer_sees_the_same_history(
+        self, observed_replay
+    ):
+        observer, _ = observed_replay
+        rng = np.random.default_rng(47)
+        trees = [
+            random_tree(rng, N_FEATURES, 10, leaf_prob=0.2, min_nodes=3)
+            for _ in range(10)
+        ]
+        X = rng.standard_normal((256, N_FEATURES)).astype(np.float32)
+        clf = HierarchicalForestClassifier.from_trees(trees, N_FEATURES)
+        duck = DuckCounts()
+        replay_scenario(clf, X, chaos_scenario(), observer=duck)
+        assert duck.responses == len(observer.responses)
+        assert duck.batches == len(observer.batches)
