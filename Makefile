@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint statcheck statcheck-fix statcheck-sarif faults serve-chaos serve-chaos-baseline slo slo-baseline fastpath fastpath-baseline bench bench-smoke experiments report plan trace obs-diff clean-cache loc
+.PHONY: install test lint statcheck statcheck-fix statcheck-sarif faults serve-chaos serve-chaos-baseline slo slo-baseline fastpath fastpath-baseline quantize bench bench-smoke experiments report plan trace obs-diff clean-cache loc
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -72,6 +72,16 @@ fastpath:
 fastpath-baseline:
 	PYTHONPATH=src python benchmarks/bench_fastpath.py \
 		--scale smoke --write-baseline
+
+# Precision axis (docs/architecture.md §12): regenerate the checked-in
+# accuracy/footprint frontier artifact, then gate the codec claims
+# (int8 within 0.5 pp of float32, packed >= 3x smaller, packed on the
+# Pareto frontier) through the bench assertions.
+quantize:
+	PYTHONPATH=src python -m repro.experiments.cli quantize-frontier \
+		--scale default --out results/
+	REPRO_BENCH_SCALE=smoke PYTHONPATH=src:. python -m pytest \
+		benchmarks/bench_quantize_frontier.py --benchmark-only -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,24 @@
+"""Quantization frontier bench: codec accuracy vs CSR footprint.
+
+Checks the compression axis's headline claims at bench scale: int8 loses at
+most 0.5 pp against float32 (small gains from quantization noise are fine),
+packed reaches the >= 3x footprint reduction, and packed — strictly the
+smallest layout — always sits on the Pareto frontier.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import quantize_frontier as exp
+
+
+def test_quantize_frontier(benchmark, bench_scale):
+    rows = run_once(benchmark, exp.run, scale=bench_scale)
+    print("\n" + exp.render(rows))
+    by = {(r["dataset"], r["codec"]): r for r in rows}
+    datasets = sorted({r["dataset"] for r in rows})
+    for name in datasets:
+        assert by[name, "int8"]["accuracy_delta_pp"] >= -0.5
+        assert by[name, "packed"]["reduction"] >= 3.0
+        assert by[name, "packed"]["on_frontier"]
+        best_acc = max(r["accuracy"] for r in rows if r["dataset"] == name)
+        frontier = [r for r in rows if r["dataset"] == name and r["on_frontier"]]
+        assert any(r["accuracy"] == best_acc for r in frontier)

@@ -66,6 +66,17 @@ class RunConfig:
         instrumented transaction-counting kernels; ``"off"`` executes the
         vectorized :mod:`repro.fastpath` traversal — bit-identical
         predictions, serving-grade speed, no device counters.
+    precision:
+        Layout codec on the precision axis
+        (:data:`repro.layout.codec.PRECISIONS`); ``"float32"`` is the
+        historical identity.  The cuML baseline models a fixed 16-byte
+        node record and has no quantized form.
+    memory_budget_bytes:
+        Optional device-memory ceiling for the planner: with
+        ``variant="auto"`` the autotuner only considers candidate plans
+        whose layout footprint fits the budget, enumerating quantized
+        codecs to get under it.  ``None`` (default) keeps the historical
+        float32-only candidate space.
     """
 
     platform: Platform = Platform.GPU
@@ -74,6 +85,8 @@ class RunConfig:
     replication: Replication = field(default_factory=Replication)
     verify_integrity: bool = False
     trace: str = TRACE_MODEL
+    precision: str = "float32"
+    memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self):
         platform = Platform(self.platform)
@@ -86,6 +99,25 @@ class RunConfig:
             raise ValueError(
                 f"trace must be one of {TRACE_MODES}, got {self.trace!r}"
             )
+        from repro.layout.codec import PRECISIONS
+
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, "
+                f"got {self.precision!r}"
+            )
+        if variant is KernelVariant.CUML and self.precision != "float32":
+            raise ValueError(
+                "the cuML baseline models a fixed 16-byte node record; "
+                "precision applies to the paper's layouts only"
+            )
+        if self.memory_budget_bytes is not None:
+            budget = int(self.memory_budget_bytes)
+            if budget <= 0:
+                raise ValueError(
+                    f"memory_budget_bytes must be positive, got {budget}"
+                )
+            object.__setattr__(self, "memory_budget_bytes", budget)
 
     @property
     def label(self) -> str:
@@ -99,6 +131,8 @@ class RunConfig:
                 parts.append(f"RSD{self.layout.rsd}")
         if self.platform is Platform.FPGA and self.replication.total_cus > 1:
             parts.append(self.replication.label)
+        if self.precision != "float32":
+            parts.append(self.precision)
         if self.trace == TRACE_OFF:
             parts.append("serve")
         return "-".join(parts)

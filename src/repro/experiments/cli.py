@@ -23,6 +23,7 @@ from repro.experiments import (
     fig8_profiling,
     fig9_fpga_runtime,
     fig10_gpu_vs_fpga,
+    quantize_frontier,
     serving_chaos,
     table2_rsd,
     table3_fpga,
@@ -37,9 +38,11 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig10": fig10_gpu_vs_fpga.main,
     "table2": table2_rsd.main,
     "table3": table3_fpga.main,
-    #: Not paper artifacts: reliability / serving subsystem characterisation.
+    #: Not paper artifacts: reliability / serving subsystem characterisation
+    #: and the codec accuracy/footprint frontier (docs/architecture.md §12).
     "fault-sweep": fault_sweep.main,
     "serving-chaos": serving_chaos.main,
+    "quantize-frontier": quantize_frontier.main,
 }
 
 

@@ -1,0 +1,108 @@
+"""Accuracy / footprint frontier across threshold codecs.
+
+Not a paper artifact: the ICPP'22 paper fixes float32 thresholds, and this
+experiment characterises the compression axis the reproduction adds on top
+(see ``docs/architecture.md`` §12).  For each dataset the band-midpoint
+forest is lowered into the CSR layout once per codec, then scored through
+the fastpath gather-decode, producing one (footprint, accuracy) point per
+codec.  A point is *on the frontier* when no other codec is at least as
+small and at least as accurate (Pareto dominance with one strict side).
+
+Expected shape: packed is strictly the smallest layout so it always sits on
+the frontier; int8 loses at most 0.5 pp against float32 (quantization noise
+occasionally *gains* a little, which can push float32 off the frontier);
+packed reaches >= 3x fewer CSR bytes than float32.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import (
+    band_depths,
+    emit_manifest,
+    get_dataset,
+    get_forest,
+    get_scale,
+)
+from repro.fastpath import fastpath_predict
+from repro.forest.metrics import accuracy_score
+from repro.layout.codec import PRECISIONS
+from repro.layout.csr import CSRForest
+from repro.layout.footprint import csr_bytes
+from repro.utils.tables import format_table
+
+DATASETS = ("covertype", "susy", "higgs")
+
+
+def _mark_frontier(points: List[Dict]) -> None:
+    """Set ``on_frontier`` per point (smaller bytes + higher accuracy win)."""
+    for p in points:
+        p["on_frontier"] = not any(
+            q is not p
+            and q["csr_bytes"] <= p["csr_bytes"]
+            and q["accuracy"] >= p["accuracy"]
+            and (q["csr_bytes"] < p["csr_bytes"] or q["accuracy"] > p["accuracy"])
+            for q in points
+        )
+
+
+def run(scale="default", datasets=DATASETS, codecs=PRECISIONS) -> List[Dict]:
+    """One (footprint, accuracy) frontier point per (dataset, codec)."""
+    scale = get_scale(scale)
+    rows: List[Dict] = []
+    for name in datasets:
+        ds = get_dataset(name, scale)
+        depth = band_depths(name, scale)[0]
+        forest = get_forest(name, depth, scale.n_trees, scale)
+        points: List[Dict] = []
+        f32_bytes = f32_acc = None
+        for codec in codecs:
+            layout = CSRForest.from_trees(forest.trees_, codec=codec)
+            preds, _ = fastpath_predict(layout, ds.X_test)
+            point = {
+                "dataset": name,
+                "depth": depth,
+                "codec": codec,
+                "csr_bytes": csr_bytes(layout),
+                "accuracy": accuracy_score(ds.y_test, preds),
+            }
+            if codec == "float32":
+                f32_bytes, f32_acc = point["csr_bytes"], point["accuracy"]
+            points.append(point)
+        for point in points:
+            ref_bytes = f32_bytes if f32_bytes is not None else point["csr_bytes"]
+            ref_acc = f32_acc if f32_acc is not None else point["accuracy"]
+            point["reduction"] = ref_bytes / point["csr_bytes"]
+            point["accuracy_delta_pp"] = (point["accuracy"] - ref_acc) * 100.0
+        _mark_frontier(points)
+        rows.extend(points)
+    return rows
+
+
+def render(rows: List[Dict]) -> str:
+    table = [
+        [
+            r["dataset"],
+            r["codec"],
+            r["csr_bytes"],
+            f"{r['reduction']:.2f}x",
+            f"{r['accuracy']:.4f}",
+            f"{r['accuracy_delta_pp']:+.2f}",
+            "*" if r["on_frontier"] else "",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["dataset", "codec", "CSR B", "vs f32", "accuracy", "delta pp", "frontier"],
+        table,
+        title="Quantization frontier: accuracy vs CSR footprint per codec "
+        "(*: Pareto-optimal; bound: int8 within 0.5 pp at >= 3x fewer bytes)",
+    )
+
+
+def main(scale="default") -> List[Dict]:  # pragma: no cover - CLI glue
+    rows = run(scale)
+    print(render(rows))
+    emit_manifest("quantize-frontier", scale, rows)
+    return rows

@@ -25,6 +25,7 @@ in this package, keeping the fast path honest as it grows.
 """
 
 from repro.fastpath.engine import (
+    FASTPATH_DEQUANT_FACTOR,
     FASTPATH_LAUNCH_OVERHEAD_S,
     FASTPATH_SECONDS_PER_LANE_LEVEL,
     FastpathStats,
@@ -35,6 +36,7 @@ from repro.fastpath.engine import (
 )
 
 __all__ = [
+    "FASTPATH_DEQUANT_FACTOR",
     "FASTPATH_LAUNCH_OVERHEAD_S",
     "FASTPATH_SECONDS_PER_LANE_LEVEL",
     "FastpathStats",

@@ -13,7 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fastpath.engine import EdgeTable, cached_edges, make_stats, traverse_edges
+from repro.fastpath.engine import (
+    EdgeTable,
+    cached_edges,
+    make_stats,
+    quantized_channels,
+    traverse_edges,
+)
 from repro.forest.tree import LEAF
 from repro.layout.csr import CSRForest
 
@@ -45,6 +51,7 @@ def build_edges(layout: CSRForest) -> EdgeTable:
         succ=succ,
         roots=tree_nodes[:-1].astype(np.int32),
         n_classes=int(layout.n_classes),
+        **quantized_channels(layout),
     )
 
 

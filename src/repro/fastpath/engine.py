@@ -33,6 +33,7 @@ Two things deliberately do **not** happen here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -44,6 +45,18 @@ FASTPATH_LAUNCH_OVERHEAD_S = 2e-5
 #: step is one gather + compare + index update over contiguous arrays —
 #: orders of magnitude below the trace path's per-step accounting.
 FASTPATH_SECONDS_PER_LANE_LEVEL = 2e-10
+
+#: Per-lane-level surcharge of dequantize-on-gather, by layout codec.
+#: float16 adds one widening cast per step; the calibrated codecs add the
+#: cast plus an affine multiply-add against the per-feature tables.  The
+#: planner's :func:`repro.runtime.cost.fastpath_plan_cost` charges the same
+#: factor, so estimate and launch agree by construction.
+FASTPATH_DEQUANT_FACTOR = {
+    "float32": 1.0,
+    "float16": 1.05,
+    "int8": 1.15,
+    "packed": 1.15,
+}
 
 #: Kernel-variant -> traversal family.  The hierarchical variants all run
 #: over the same packed subtree arrays; CSR and the cuML baseline each have
@@ -92,9 +105,15 @@ def make_stats(family: str, rows: int, trees: int, levels: int, lane_levels: int
     )
 
 
-def fastpath_seconds(lane_levels: int) -> float:
-    """Deterministic modelled latency of one fastpath launch."""
-    return FASTPATH_LAUNCH_OVERHEAD_S + float(lane_levels) * FASTPATH_SECONDS_PER_LANE_LEVEL
+def fastpath_seconds(lane_levels: int, precision: str = "float32") -> float:
+    """Deterministic modelled latency of one fastpath launch.
+
+    ``precision`` is the plan's layout codec; non-float32 codecs charge the
+    :data:`FASTPATH_DEQUANT_FACTOR` surcharge per lane-level for the
+    dequantization arithmetic the gather replays.
+    """
+    per_level = FASTPATH_SECONDS_PER_LANE_LEVEL * FASTPATH_DEQUANT_FACTOR[precision]
+    return FASTPATH_LAUNCH_OVERHEAD_S + float(lane_levels) * per_level
 
 
 def family_for_variant(variant: str) -> str:
@@ -135,6 +154,16 @@ class EdgeTable:
       subtree crossings, CSR children indirection, FIL adjacent children)
       are resolved here, once, at build time.
     * ``roots`` — ``int32[n_trees]``; each tree's root slot.
+
+    Layouts built under a non-float32 codec additionally carry the
+    quantized threshold channel: ``qcodes`` (slot-aligned stored codes,
+    ``float16`` or ``int8``) and — for the calibrated codecs — the
+    per-feature ``qscale``/``qoffset`` affine tables.  The traversal core
+    then dequantizes *at gather time*, replaying the codec's canonical
+    float32 decode expression per lane, which is bit-identical to the
+    round-tripped ``value`` channel the layout stores (pinned by
+    tests/test_fastpath.py).  ``value`` itself always holds the decoded
+    float32 channel, so the float32 compare path is byte-unchanged.
     """
 
     feature: np.ndarray
@@ -143,6 +172,28 @@ class EdgeTable:
     succ: np.ndarray
     roots: np.ndarray
     n_classes: int
+    qcodes: Optional[np.ndarray] = None
+    qscale: Optional[np.ndarray] = None
+    qoffset: Optional[np.ndarray] = None
+    codec: str = "float32"
+
+
+def quantized_channels(layout) -> dict:
+    """EdgeTable kwargs for a layout's quantized side tables, if any.
+
+    Layouts built under the float32 identity codec carry ``quant=None``
+    and get an empty dict, keeping their tables byte-identical to the
+    pre-codec era; FIL layouts have no ``quant`` attribute at all.
+    """
+    quant = getattr(layout, "quant", None)
+    if quant is None:
+        return {}
+    return {
+        "qcodes": quant.codes,
+        "qscale": quant.scale if quant.scale.size else None,
+        "qoffset": quant.offset if quant.offset.size else None,
+        "codec": quant.codec,
+    }
 
 
 def cached_edges(layout, build) -> EdgeTable:
@@ -184,6 +235,14 @@ def traverse_edges(table: EdgeTable, X: np.ndarray):
     value = table.value
     label = table.label
     succ = table.succ
+    # Dequantize-on-gather: quantized tables compare against the codec's
+    # canonical float32 decode of the gathered code, elementwise identical
+    # to the decoded ``value`` channel (see repro.layout.codec).  All
+    # arithmetic stays float32 (statcheck NUM004).
+    qcodes = table.qcodes
+    qscale = table.qscale
+    qoffset = table.qoffset
+    calibrated = qcodes is not None and qscale is not None and qscale.size > 0
     n_classes32 = np.int32(n_classes)
     votes = np.zeros(n * n_classes, dtype=np.int32)
     block = max(1, FASTPATH_CHUNK_LANES // max(1, n_trees))
@@ -218,7 +277,13 @@ def traverse_edges(table: EdgeTable, X: np.ndarray):
                 feats = feats[keep]
                 if not rx.size:
                     break
-            went_right = flat_x[rx + feats] >= value[slot]
+            if qcodes is None:
+                thr = value[slot]
+            elif calibrated:
+                thr = qcodes[slot].astype(np.float32) * qscale[feats] + qoffset[feats]
+            else:
+                thr = qcodes[slot].astype(np.float32)
+            went_right = flat_x[rx + feats] >= thr
             slot = succ[slot + slot + went_right]
         levels = max(levels, depth)
         counts = np.bincount(

@@ -9,15 +9,33 @@
   indexing inside subtrees, CSR-style indirection only between subtrees.
 * :mod:`~repro.layout.footprint` — byte-exact memory accounting used by the
   Fig. 6 experiment.
+* :mod:`~repro.layout.codec` — the precision axis: per-node value codecs
+  (float32 / float16 / int8 / packed) every builder accepts via
+  ``from_trees(..., codec=...)``.
 
 Both layouts are pure functions of a list of :class:`repro.forest.DecisionTree`
 objects and carry enough metadata for byte-exact footprint accounting and for
 the simulated kernels to derive memory addresses.
 """
 
+from repro.layout.codec import (
+    CodecError,
+    NodeCodec,
+    PRECISIONS,
+    QuantizedValues,
+    get_codec,
+)
 from repro.layout.csr import CSRForest
 from repro.layout.hierarchical import HierarchicalForest, LayoutParams
-from repro.layout.footprint import ByteWidths, csr_bytes, hierarchical_bytes, footprint_ratio
+from repro.layout.footprint import (
+    ByteWidths,
+    csr_bytes,
+    csr_device_arrays,
+    footprint_ratio,
+    hierarchical_bytes,
+    hierarchical_device_arrays,
+    layout_device_arrays,
+)
 from repro.layout.verify import VerificationReport, verify_layouts
 
 __all__ = [
@@ -28,6 +46,14 @@ __all__ = [
     "LayoutParams",
     "ByteWidths",
     "csr_bytes",
+    "csr_device_arrays",
     "hierarchical_bytes",
+    "hierarchical_device_arrays",
+    "layout_device_arrays",
     "footprint_ratio",
+    "CodecError",
+    "NodeCodec",
+    "PRECISIONS",
+    "QuantizedValues",
+    "get_codec",
 ]

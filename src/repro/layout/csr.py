@@ -57,13 +57,29 @@ class CSRForest:
     #: :mod:`repro.reliability.integrity`); ``None`` when built with
     #: ``with_integrity=False``.
     integrity: Optional[object] = None
+    #: Precision-axis codec this layout was built under; ``value`` already
+    #: holds the decoded (round-tripped) float32 channel, so every float32
+    #: consumer runs unchanged (see :mod:`repro.layout.codec`).
+    codec: str = "float32"
+    #: Codec side tables (:class:`~repro.layout.codec.QuantizedValues`);
+    #: ``None`` for the float32 identity.
+    quant: Optional[object] = None
 
     # ------------------------------------------------------------------
     @classmethod
     def from_trees(
-        cls, trees: Sequence[DecisionTree], with_integrity: bool = True
+        cls,
+        trees: Sequence[DecisionTree],
+        with_integrity: bool = True,
+        codec: str = "float32",
     ) -> "CSRForest":
-        """Build the CSR layout from trained trees."""
+        """Build the CSR layout from trained trees.
+
+        ``codec`` selects the precision-axis encoding of the value
+        channel (:data:`repro.layout.codec.PRECISIONS`); thresholds are
+        quantized and immediately decoded so the stored ``value`` array
+        is the round-tripped float32 channel.
+        """
         if len(trees) == 0:
             raise ValueError("need at least one tree")
         feature_parts: List[np.ndarray] = []
@@ -88,14 +104,22 @@ class CSRForest:
             ca_parts.append(ca)
             node_off[t + 1] = node_off[t] + tree.n_nodes
             child_off[t + 1] = child_off[t] + 2 * n_inner
+        feature_id = np.concatenate(feature_parts)
+        from repro.layout.codec import quantize_layout_values
+
+        value, quant = quantize_layout_values(
+            codec, np.concatenate(value_parts), feature_id
+        )
         layout = cls(
-            feature_id=np.concatenate(feature_parts),
-            value=np.concatenate(value_parts),
+            feature_id=feature_id,
+            value=value,
             children_arr_idx=np.concatenate(caidx_parts),
             children_arr=np.concatenate(ca_parts),
             tree_node_offset=node_off,
             tree_children_offset=child_off,
             n_classes=max(t.n_classes for t in trees),
+            codec=quant.codec if quant is not None else "float32",
+            quant=quant,
         )
         if with_integrity:
             from repro.reliability.integrity import attach_integrity

@@ -6,14 +6,54 @@ CSR as the ratio ``hierarchical_bytes / csr_bytes`` for subtree depths
 defaults match the representations described in §2.3/§3.1 (32-bit feature
 ids and values — the paper's "48 bits per node" remark corresponds to a
 packed 16-bit feature id, also provided as :data:`PACKED_WIDTHS`).
+
+Since the codec refactor the default accounting is *array-based*: each
+layout maps to a dict of modeled device-resident arrays
+(:func:`csr_device_arrays` / :func:`hierarchical_device_arrays`) whose
+widths derive from the layout's codec, and the byte totals are the sum of
+their ``nbytes`` — which is how the cost model and Fig. 6 see quantized
+layouts shrink.  Passing an explicit :class:`ByteWidths` instead evaluates
+the historical closed-form width model (any integer widths, no dtype
+constraint), byte-identical to the pre-codec module.  The ``packed`` codec
+switches the array-based path to record modeling: an 8-byte CSR node
+record (16-bit feature, int8 threshold, leaf flags, two 16-bit child
+refs) and a 4-byte hierarchical slot record, plus the shared leaf pool
+and calibration tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
+import numpy as np
+
+from repro.layout.codec import CodecError
 from repro.layout.csr import CSRForest
 from repro.layout.hierarchical import HierarchicalForest
+
+#: Packed CSR node record: feature, quantized threshold, leaf flags and two
+#: tree-local child refs (record rank, or leaf-pool index when the matching
+#: flag bit is set).  8 bytes/record; leaves themselves store no record.
+CSR_PACKED_RECORD = np.dtype(
+    [
+        ("feature", np.int16),
+        ("qthreshold", np.int8),
+        ("leaf_flags", np.uint8),
+        ("left", np.int16),
+        ("right", np.int16),
+    ]
+)
+
+#: Packed hierarchical slot record: feature, quantized threshold and the
+#: leaf-pool index (``aux``).  4 bytes/slot, padding slots included —
+#: arithmetic in-subtree indexing needs the complete prefix either way.
+HIER_PACKED_RECORD = np.dtype(
+    [("feature", np.int16), ("qvalue", np.int8), ("aux", np.uint8)]
+)
+
+#: Tree-local refs in packed records are int16.
+_PACKED_MAX_TREE_NODES = 32767
 
 
 @dataclass(frozen=True)
@@ -22,6 +62,8 @@ class ByteWidths:
 
     feature_id: int = 4
     value: int = 4
+    #: Extra per-node payload byte(s) — the packed record's leaf-pool code.
+    aux: int = 0
     #: CSR child pointer / hierarchical connection entry.
     index: int = 4
     #: Per-tree or per-subtree offset entry.
@@ -29,42 +71,234 @@ class ByteWidths:
 
     def node_bytes(self) -> int:
         """Bytes per stored node slot (attributes only)."""
-        return self.feature_id + self.value
+        return self.feature_id + self.value + self.aux
+
+    @classmethod
+    def from_codec(cls, codec: str) -> "ByteWidths":
+        """Widths implied by a precision-axis codec.
+
+        ``packed`` reflects the record layouts above: ``node_bytes()`` is
+        the 4-byte hierarchical slot record, and adding the two int16
+        child refs (``2 * index``) gives the 8-byte CSR node record.
+        """
+        if codec == "float32":
+            return cls()
+        if codec == "float16":
+            return cls(value=2)
+        if codec == "int8":
+            return cls(value=1)
+        if codec == "packed":
+            return cls(feature_id=2, value=1, aux=1, index=2, offset=8)
+        raise CodecError(f"unknown codec {codec!r}")
 
 
 #: Widths matching the paper's "48 bits to store a node's attributes".
 PACKED_WIDTHS = ByteWidths(feature_id=2, value=4, index=4, offset=8)
 
+_INT_BY_WIDTH = {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}
+_FLOAT_BY_WIDTH = {2: np.float16, 4: np.float32}
 
-def csr_bytes(forest: CSRForest, widths: ByteWidths = ByteWidths()) -> int:
-    """Total bytes of the CSR representation (Fig. 2 arrays)."""
-    n = forest.total_nodes
-    return (
-        n * widths.node_bytes()  # feature_id + value
-        + n * widths.index  # children_arr_idx
-        + forest.total_children_entries * widths.index  # children_arr
-        + (forest.n_trees + 1) * 2 * widths.offset  # per-tree offsets
-    )
+
+def _value_channel(forest) -> np.ndarray:
+    """The device-resident value array: codec codes, or the f32 channel."""
+    if forest.quant is not None:
+        return forest.quant.codes
+    w = ByteWidths.from_codec(getattr(forest, "codec", "float32")).value
+    return forest.value.astype(_FLOAT_BY_WIDTH[w])
+
+
+def _calibration_arrays(forest) -> Dict[str, np.ndarray]:
+    """Per-feature affine tables a calibrated codec ships to the device."""
+    q = forest.quant
+    if q is None or not q.calibrated:
+        return {}
+    return {"threshold_scale": q.scale, "threshold_offset": q.offset}
+
+
+def _csr_packed_arrays(forest: CSRForest) -> Dict[str, np.ndarray]:
+    """Record-packed CSR device arrays (``packed`` codec only).
+
+    One 8-byte record per *inner* node; child refs are tree-local record
+    ranks, or leaf-pool indices when the sibling ``leaf_flags`` bit says
+    the child is a leaf.
+    """
+    q = forest.quant
+    rec_parts = []
+    rec_off = np.zeros(forest.n_trees + 1, dtype=np.int64)
+    for t in range(forest.n_trees):
+        lo = int(forest.tree_node_offset[t])
+        hi = int(forest.tree_node_offset[t + 1])
+        if hi - lo > _PACKED_MAX_TREE_NODES:
+            raise CodecError(
+                f"packed codec limits trees to {_PACKED_MAX_TREE_NODES} "
+                f"nodes, tree {t} has {hi - lo}"
+            )
+        feats = forest.feature_id[lo:hi]
+        inner = feats >= 0
+        rec_id = (np.cumsum(inner) - 1).astype(np.int64)
+        cbase = int(forest.tree_children_offset[t])
+        caidx = forest.children_arr_idx[lo:hi][inner]
+        left = forest.children_arr[cbase + caidx].astype(np.int64)
+        right = forest.children_arr[cbase + caidx + 1].astype(np.int64)
+        left_leaf = forest.feature_id[lo + left] < 0
+        right_leaf = forest.feature_id[lo + right] < 0
+        rec = np.zeros(int(inner.sum()), dtype=CSR_PACKED_RECORD)
+        rec["feature"] = feats[inner].astype(np.int16)
+        rec["qthreshold"] = q.codes[lo:hi][inner]
+        rec["leaf_flags"] = left_leaf.astype(np.uint8) | (
+            right_leaf.astype(np.uint8) << 1
+        )
+        rec["left"] = np.where(
+            left_leaf, q.leaf_code[lo + left].astype(np.int64), rec_id[left]
+        ).astype(np.int16)
+        rec["right"] = np.where(
+            right_leaf, q.leaf_code[lo + right].astype(np.int64), rec_id[right]
+        ).astype(np.int16)
+        rec_parts.append(rec)
+        rec_off[t + 1] = rec_off[t] + rec.shape[0]
+    return {
+        "node_records": np.concatenate(rec_parts)
+        if rec_parts
+        else np.empty(0, dtype=CSR_PACKED_RECORD),
+        "tree_record_offset": rec_off,
+        "leaf_pool": forest.quant.leaf_pool,
+        **_calibration_arrays(forest),
+    }
+
+
+def _hier_packed_arrays(forest: HierarchicalForest) -> Dict[str, np.ndarray]:
+    """Record-packed hierarchical device arrays (``packed`` codec only)."""
+    q = forest.quant
+    rec = np.zeros(forest.total_slots, dtype=HIER_PACKED_RECORD)
+    rec["feature"] = forest.feature_id.astype(np.int16)
+    rec["qvalue"] = q.codes
+    rec["aux"] = q.leaf_code
+    return {
+        "slot_records": rec,
+        "subtree_node_offset": forest.subtree_node_offset,
+        "connection_offset": forest.connection_offset,
+        "subtree_connection": forest.subtree_connection,
+        "subtree_depth": forest.subtree_depth,
+        "tree_root_subtree": forest.tree_root_subtree,
+        "leaf_pool": q.leaf_pool,
+        **_calibration_arrays(forest),
+    }
+
+
+def csr_device_arrays(forest: CSRForest) -> Dict[str, np.ndarray]:
+    """Modeled device-resident arrays of the CSR layout (Fig. 2).
+
+    Widths come from the layout's codec.  ``children_arr_idx`` is modeled
+    at index width (a real kernel ships the 32-bit form), matching the
+    paper's Fig. 6 accounting.
+    """
+    codec = getattr(forest, "codec", "float32")
+    if codec == "packed":
+        return _csr_packed_arrays(forest)
+    w = ByteWidths.from_codec(codec)
+    return {
+        "feature_id": forest.feature_id.astype(_INT_BY_WIDTH[w.feature_id]),
+        "value": _value_channel(forest),
+        "children_arr_idx": forest.children_arr_idx.astype(
+            _INT_BY_WIDTH[w.index]
+        ),
+        "children_arr": forest.children_arr.astype(_INT_BY_WIDTH[w.index]),
+        "tree_node_offset": forest.tree_node_offset.astype(
+            _INT_BY_WIDTH[w.offset]
+        ),
+        "tree_children_offset": forest.tree_children_offset.astype(
+            _INT_BY_WIDTH[w.offset]
+        ),
+        **_calibration_arrays(forest),
+    }
+
+
+def hierarchical_device_arrays(
+    forest: HierarchicalForest,
+) -> Dict[str, np.ndarray]:
+    """Modeled device-resident arrays of the hierarchical layout (Fig. 3).
+
+    ``subtree_tree`` is host-side build metadata and is deliberately not
+    counted, matching the historical Fig. 6 accounting.
+    """
+    codec = getattr(forest, "codec", "float32")
+    if codec == "packed":
+        return _hier_packed_arrays(forest)
+    w = ByteWidths.from_codec(codec)
+    return {
+        "feature_id": forest.feature_id.astype(_INT_BY_WIDTH[w.feature_id]),
+        "value": _value_channel(forest),
+        "subtree_node_offset": forest.subtree_node_offset.astype(
+            _INT_BY_WIDTH[w.offset]
+        ),
+        "connection_offset": forest.connection_offset.astype(
+            _INT_BY_WIDTH[w.offset]
+        ),
+        "subtree_connection": forest.subtree_connection.astype(
+            _INT_BY_WIDTH[w.index]
+        ),
+        "subtree_depth": forest.subtree_depth.astype(_INT_BY_WIDTH[w.index]),
+        "tree_root_subtree": forest.tree_root_subtree.astype(
+            _INT_BY_WIDTH[w.index]
+        ),
+        **_calibration_arrays(forest),
+    }
+
+
+def csr_bytes(forest: CSRForest, widths: Optional[ByteWidths] = None) -> int:
+    """Total bytes of the CSR representation (Fig. 2 arrays).
+
+    An explicit ``widths`` evaluates the historical closed-form model
+    (any integer widths); ``None`` sums the codec-derived device arrays.
+    """
+    if widths is not None:
+        n = forest.total_nodes
+        return (
+            n * widths.node_bytes()  # feature_id + value (+ aux)
+            + n * widths.index  # children_arr_idx
+            + forest.total_children_entries * widths.index  # children_arr
+            + (forest.n_trees + 1) * 2 * widths.offset  # per-tree offsets
+        )
+    return sum(a.nbytes for a in csr_device_arrays(forest).values())
 
 
 def hierarchical_bytes(
-    forest: HierarchicalForest, widths: ByteWidths = ByteWidths()
+    forest: HierarchicalForest, widths: Optional[ByteWidths] = None
 ) -> int:
-    """Total bytes of the hierarchical representation (Fig. 3 arrays)."""
-    return (
-        forest.total_slots * widths.node_bytes()  # feature_id + value
-        + (forest.n_subtrees + 1) * widths.offset  # subtree_node_offset
-        + (forest.n_subtrees + 1) * widths.offset  # connection_offset
-        + forest.subtree_connection.shape[0] * widths.index  # connections
-        + forest.n_subtrees * widths.index  # subtree_depth
-        + forest.n_trees * widths.index  # tree_root_subtree
-    )
+    """Total bytes of the hierarchical representation (Fig. 3 arrays).
+
+    An explicit ``widths`` evaluates the historical closed-form model
+    (any integer widths); ``None`` sums the codec-derived device arrays.
+    """
+    if widths is not None:
+        return (
+            forest.total_slots * widths.node_bytes()  # feature_id + value
+            + (forest.n_subtrees + 1) * widths.offset  # subtree_node_offset
+            + (forest.n_subtrees + 1) * widths.offset  # connection_offset
+            + forest.subtree_connection.shape[0] * widths.index  # connections
+            + forest.n_subtrees * widths.index  # subtree_depth
+            + forest.n_trees * widths.index  # tree_root_subtree
+        )
+    return sum(a.nbytes for a in hierarchical_device_arrays(forest).values())
+
+
+def layout_device_arrays(layout):
+    """Dispatch :func:`csr_device_arrays` / :func:`hierarchical_device_arrays`."""
+    if isinstance(layout, CSRForest):
+        return csr_device_arrays(layout)
+    if isinstance(layout, HierarchicalForest):
+        return hierarchical_device_arrays(layout)
+    raise TypeError(f"unknown layout type {type(layout).__name__}")
 
 
 def footprint_ratio(
     hier: HierarchicalForest,
     csr: CSRForest,
-    widths: ByteWidths = ByteWidths(),
+    widths: Optional[ByteWidths] = None,
 ) -> float:
-    """``hierarchical_bytes / csr_bytes`` — the y-axis of Fig. 6."""
+    """``hierarchical_bytes / csr_bytes`` — the y-axis of Fig. 6.
+
+    ``widths=None`` derives widths from each layout's own codec (identical
+    to the historical model when both layouts are float32).
+    """
     return hierarchical_bytes(hier, widths) / csr_bytes(csr, widths)

@@ -105,6 +105,13 @@ class HierarchicalForest:
     #: :mod:`repro.reliability.integrity`); ``None`` when built with
     #: ``with_integrity=False``.
     integrity: Optional[object] = None
+    #: Precision-axis codec this layout was built under; ``value`` already
+    #: holds the decoded (round-tripped) float32 channel, so every float32
+    #: consumer runs unchanged (see :mod:`repro.layout.codec`).
+    codec: str = "float32"
+    #: Codec side tables (:class:`~repro.layout.codec.QuantizedValues`);
+    #: ``None`` for the float32 identity.
+    quant: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -115,8 +122,15 @@ class HierarchicalForest:
         trees: Sequence[DecisionTree],
         params: LayoutParams = LayoutParams(),
         with_integrity: bool = True,
+        codec: str = "float32",
     ) -> "HierarchicalForest":
-        """Partition ``trees`` into complete subtrees and pack the arrays."""
+        """Partition ``trees`` into complete subtrees and pack the arrays.
+
+        ``codec`` selects the precision-axis encoding of the value channel
+        (:data:`repro.layout.codec.PRECISIONS`); thresholds are quantized
+        and immediately decoded so the stored ``value`` array is the
+        round-tripped float32 channel.
+        """
         if len(trees) == 0:
             raise ValueError("need at least one tree")
         feat_parts: List[np.ndarray] = []
@@ -197,9 +211,15 @@ class HierarchicalForest:
             if conn_parts
             else np.empty(0, dtype=np.int64)
         ).astype(np.int32)
+        feature_id = np.concatenate(feat_parts)
+        from repro.layout.codec import quantize_layout_values
+
+        value, quant = quantize_layout_values(
+            codec, np.concatenate(val_parts), feature_id
+        )
         layout = cls(
-            feature_id=np.concatenate(feat_parts),
-            value=np.concatenate(val_parts),
+            feature_id=feature_id,
+            value=value,
             subtree_node_offset=np.asarray(node_offsets, dtype=np.int64),
             subtree_depth=np.asarray(depths, dtype=np.int32),
             connection_offset=np.asarray(conn_offsets, dtype=np.int64),
@@ -208,6 +228,8 @@ class HierarchicalForest:
             subtree_tree=np.asarray(owner, dtype=np.int32),
             params=params,
             n_classes=max(t.n_classes for t in trees),
+            codec=quant.codec if quant is not None else "float32",
+            quant=quant,
         )
         if with_integrity:
             from repro.reliability.integrity import attach_integrity

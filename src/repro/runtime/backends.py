@@ -70,21 +70,31 @@ class Backend:
 def _accelerator_layout_key(plan: ExecutionPlan) -> Tuple:
     # Key scheme shared with the classifier's historical layout cache
     # (tests and benchmarks inject entries under these exact keys).
+    # Quantized plans append the codec so a float32 layout is never
+    # served to a quantized plan or vice versa; float32 keys stay the
+    # historical tuples.
     if plan.variant == "csr":
-        return ("csr",)
-    if plan.variant == "cuml":
-        return ("fil",)
-    return ("hier", plan.layout.sd, plan.layout.rsd)
+        key: Tuple = ("csr",)
+    elif plan.variant == "cuml":
+        key = ("fil",)
+    else:
+        key = ("hier", plan.layout.sd, plan.layout.rsd)
+    if plan.precision != "float32":
+        key = key + (plan.precision,)
+    return key
 
 
 def _build_accelerator_layout(trees: Sequence, plan: ExecutionPlan):
     if plan.variant == "csr":
-        return CSRForest.from_trees(list(trees))
+        return CSRForest.from_trees(list(trees), codec=plan.precision)
     if plan.variant == "cuml":
         from repro.baselines.cuml_fil import FILForest
 
+        # ExecutionPlan rejects cuml+quantized, so no codec to thread.
         return FILForest.from_trees(list(trees))
-    return HierarchicalForest.from_trees(list(trees), plan.layout)
+    return HierarchicalForest.from_trees(
+        list(trees), plan.layout, codec=plan.precision
+    )
 
 
 def _run_fastpath(plan, layout, X, launch_gate, observer) -> BackendOutput:
@@ -105,7 +115,7 @@ def _run_fastpath(plan, layout, X, launch_gate, observer) -> BackendOutput:
 
         verify_layout_integrity(layout)
     preds, stats = fastpath_predict(layout, X)
-    seconds = fastpath_seconds(stats.lane_levels) + hang_s
+    seconds = fastpath_seconds(stats.lane_levels, precision=plan.precision) + hang_s
     if observer is not None:
         ensure_observer(observer).on_fastpath(plan, stats, seconds)
     return BackendOutput(

@@ -39,6 +39,20 @@ GPU_TXN_PER_VISIT = {"csr": 4.0, "independent": 2.0, "hybrid": 2.0, "cuml": 1.0}
 GPU_TXN_PER_CROSSING = 2.0
 GPU_HYBRID_STAGE1_TXN = 0.125
 
+#: Per-visit transaction scaling on the precision axis.  A visit's loads
+#: split roughly evenly between the node record and topology/query data;
+#: narrowing the value channel shrinks only the node-record half (float16
+#: halves it, int8 quarters it), while the ``packed`` record collapses the
+#: whole visit into one coalesced 8-byte load.  The FPGA model is
+#: codec-neutral: its initiation intervals are pipeline-depth bound, not
+#: bandwidth bound, so narrowing words does not shorten the IIs.
+CODEC_TXN_FACTOR = {
+    "float32": 1.0,
+    "float16": 0.875,
+    "int8": 0.8125,
+    "packed": 0.5,
+}
+
 
 @dataclass(frozen=True)
 class WorkloadProfile:
@@ -115,6 +129,7 @@ def gpu_plan_cost(
         txns += GPU_HYBRID_STAGE1_TXN * stage1
     else:
         raise PlanError(f"no GPU cost model for variant {plan.variant!r}")
+    txns *= CODEC_TXN_FACTOR[plan.precision]
     p_miss = capacity_miss_fraction(footprint_bytes, spec.l2_bytes)
     seconds = txns * (1.0 + p_miss) / spec.mem_transactions_per_s
     return seconds + spec.launch_overhead_s
@@ -167,14 +182,15 @@ def fastpath_plan_cost(
     visits *are* the lane-levels a traversal of the probe sample executes
     (one visit = one lane advanced one level), so scaling by the query
     ratio gives the expected work directly.  Same constants as
-    :func:`repro.fastpath.fastpath_seconds`, so the estimate and the
-    simulated launch agree by construction.
+    :func:`repro.fastpath.fastpath_seconds` — including the plan's codec
+    dequantization surcharge — so the estimate and the simulated launch
+    agree by construction.
     """
     from repro.fastpath import fastpath_seconds
 
     scale = n_queries / max(1, profile.probe_queries)
     lane_levels = profile.visits * scale
-    return fastpath_seconds(lane_levels)
+    return fastpath_seconds(lane_levels, precision=plan.precision)
 
 
 def estimate_plan_cost(

@@ -82,6 +82,10 @@ class ExecutionPlan:
     #: vectorized :mod:`repro.fastpath` traversal (same predictions, no
     #: per-warp accounting).  See docs/architecture.md §11.
     trace: str = TRACE_MODEL
+    #: Layout codec on the precision axis (see :mod:`repro.layout.codec`
+    #: and docs/architecture.md §12); ``"float32"`` is the historical
+    #: identity and the default for plans deserialized from older JSON.
+    precision: str = "float32"
 
     def __post_init__(self):
         object.__setattr__(self, "platform", str(getattr(self.platform, "value", self.platform)))
@@ -97,6 +101,18 @@ class ExecutionPlan:
         if self.trace not in TRACE_MODES:
             raise PlanError(
                 f"trace must be one of {TRACE_MODES}, got {self.trace!r}"
+            )
+        from repro.layout.codec import PRECISIONS
+
+        if self.precision not in PRECISIONS:
+            raise PlanError(
+                f"precision must be one of {PRECISIONS}, "
+                f"got {self.precision!r}"
+            )
+        if self.variant == "cuml" and self.precision != "float32":
+            raise PlanError(
+                "the cuML baseline models a fixed 16-byte node record; "
+                "precision applies to the paper's layouts only"
             )
         check_pair(self.platform, self.variant)
 
@@ -114,6 +130,8 @@ class ExecutionPlan:
             parts.append(self.replication.label)
         if self.batch_split > 1:
             parts.append(f"x{self.batch_split}")
+        if self.precision != "float32":
+            parts.append(self.precision)
         if self.trace == TRACE_OFF:
             parts.append("serve")
         return "-".join(parts)
@@ -129,6 +147,7 @@ class ExecutionPlan:
             replication=self.replication,
             verify_integrity=self.verify_integrity,
             trace=self.trace,
+            precision=self.precision,
         )
 
     # ------------------------------------------------------------------
@@ -161,6 +180,7 @@ class ExecutionPlan:
             "source": self.source,
             "cost_estimate_s": self.cost_estimate_s,
             "trace": self.trace,
+            "precision": self.precision,
         }
 
     def to_json(self) -> str:
@@ -199,6 +219,7 @@ class ExecutionPlan:
                 else float(data["cost_estimate_s"])
             ),
             trace=str(data.get("trace", TRACE_MODEL)),
+            precision=str(data.get("precision", "float32")),
         )
 
     @classmethod

@@ -91,6 +91,7 @@ def compile_plan(forest, config: RunConfig = RunConfig()) -> ExecutionPlan:
         verify_integrity=config.verify_integrity,
         source="explicit",
         trace=config.trace,
+        precision=config.precision,
     )
 
 
@@ -170,18 +171,25 @@ class Planner:
             platform=config.platform,
             verify_integrity=config.verify_integrity,
             trace=config.trace,
+            precision=config.precision,
+            memory_budget_bytes=config.memory_budget_bytes,
         )
 
     # ------------------------------------------------------------------
     def candidates(
-        self, platform: Platform, trace: str = TRACE_MODEL
+        self,
+        platform: Platform,
+        trace: str = TRACE_MODEL,
+        precisions: Tuple[str, ...] = ("float32",),
     ) -> List[ExecutionPlan]:
         """The deterministic candidate enumeration for one platform.
 
         The cuML baseline is excluded on purpose: it is the comparator the
         paper argues against, not a deployment choice of this system.
         With ``trace="off"`` every candidate carries the mode, so both the
-        cost model and the probe runs exercise the fast path.
+        cost model and the probe runs exercise the fast path.  The default
+        ``precisions`` keeps the historical float32-only space; a memory
+        budget widens it to the full codec family (see :meth:`autotune`).
         """
         platform = Platform(platform)
         plans: List[ExecutionPlan] = []
@@ -190,15 +198,17 @@ class Planner:
             replications = (Replication(), FULL_4S12C)
 
         def add(variant: str, layout: LayoutParams, repl: Replication):
-            plans.append(
-                ExecutionPlan(
-                    platform=platform.value,
-                    variant=variant,
-                    layout=layout,
-                    replication=repl,
-                    trace=trace,
+            for precision in precisions:
+                plans.append(
+                    ExecutionPlan(
+                        platform=platform.value,
+                        variant=variant,
+                        layout=layout,
+                        replication=repl,
+                        trace=trace,
+                        precision=precision,
+                    )
                 )
-            )
 
         for repl in replications:
             add("csr", LayoutParams(), repl)
@@ -270,11 +280,24 @@ class Planner:
         platform: Platform = Platform.GPU,
         verify_integrity: bool = False,
         trace: str = TRACE_MODEL,
+        precision: str = "float32",
+        memory_budget_bytes: Optional[int] = None,
     ) -> ExecutionPlan:
-        """Pick the cheapest plan for this (forest, workload, platform)."""
+        """Pick the cheapest plan for this (forest, workload, platform).
+
+        With ``memory_budget_bytes`` set, candidates whose layout
+        footprint exceeds the budget are dropped before ranking; when
+        ``precision`` is left at its float32 default, the budget also
+        widens the candidate space to every codec so the planner can
+        quantize its way under the ceiling.  If nothing fits, the
+        smallest-footprint candidate wins (the least-bad answer beats
+        refusing to plan).
+        """
         platform = Platform(platform)
         X = np.ascontiguousarray(X, dtype=np.float32)
-        cache_path = self._cache_path(X, platform, trace)
+        cache_path = self._cache_path(
+            X, platform, trace, precision, memory_budget_bytes
+        )
         cached = self._load_cached(cache_path)
         if cached is not None:
             self.stats["cache_hits"] += 1
@@ -282,12 +305,35 @@ class Planner:
             self._notify(plan)
             return plan
 
+        if memory_budget_bytes is not None and precision == "float32":
+            from repro.layout.codec import PRECISIONS
+
+            precisions: Tuple[str, ...] = tuple(PRECISIONS)
+        else:
+            precisions = (precision,)
+
         probe = self._probe_sample(X)
         n_queries = int(X.shape[0])
         memo: Dict[Tuple, WorkloadProfile] = {}
+        pool = self.candidates(platform, trace, precisions)
+        if memory_budget_bytes is not None:
+            footprints = {
+                plan.to_json(): self._footprint(plan) for plan in pool
+            }
+            fitting = [
+                p for p in pool
+                if footprints[p.to_json()] <= memory_budget_bytes
+            ]
+            if fitting:
+                pool = fitting
+            else:
+                # Nothing fits: keep only the smallest-footprint candidate.
+                pool = [
+                    min(pool, key=lambda p: (footprints[p.to_json()], p.to_json()))
+                ]
         scored = [
             (self.estimate(plan, probe, n_queries, memo), plan.to_json(), plan)
-            for plan in self.candidates(platform, trace)
+            for plan in pool
         ]
         scored.sort(key=lambda item: (item[0], item[1]))
         finalists = scored[: max(1, self.top_k)]
@@ -309,6 +355,7 @@ class Planner:
             source="autotuned",
             cost_estimate_s=best_cost,
             trace=best.trace,
+            precision=best.precision,
         )
         self._store_cached(cache_path, chosen)
         plan = self._finalize(chosen, verify_integrity, source="autotuned")
@@ -316,6 +363,11 @@ class Planner:
         return plan
 
     # ------------------------------------------------------------------
+    def _footprint(self, plan: ExecutionPlan) -> int:
+        """Device bytes of a candidate's layout (builds/caches the layout)."""
+        layout = self.session.layout_for(plan)
+        return plan_footprint_bytes(plan, layout, self.session.trees)
+
     def _finalize(
         self, plan: ExecutionPlan, verify_integrity: bool, source: str
     ) -> ExecutionPlan:
@@ -329,6 +381,7 @@ class Planner:
             source=source,
             cost_estimate_s=plan.cost_estimate_s,
             trace=plan.trace,
+            precision=plan.precision,
         )
 
     def _notify(self, plan: ExecutionPlan) -> None:
@@ -375,17 +428,32 @@ class Planner:
     # Plan cache
     # ------------------------------------------------------------------
     def _cache_path(
-        self, X: np.ndarray, platform: Platform, trace: str = TRACE_MODEL
+        self,
+        X: np.ndarray,
+        platform: Platform,
+        trace: str = TRACE_MODEL,
+        precision: str = "float32",
+        memory_budget_bytes: Optional[int] = None,
     ) -> str:
         root = self.cache_dir or default_plan_cache_dir()
         fp = forest_fingerprint(self.session.trees)
         nq, nf, xcrc = dataset_profile(X)
         # Trace-off decisions rank by a different cost model, so they get
         # their own cache namespace; model-mode filenames are unchanged and
-        # pre-existing cache entries keep replaying.
+        # pre-existing cache entries keep replaying.  Likewise a pinned
+        # precision or a memory budget changes the candidate space, so
+        # each (precision, budget) combination caches separately — the
+        # default combination keeps the historical filename.
         mode = "_serve" if trace == TRACE_OFF else ""
+        prec = f"_{precision}" if precision != "float32" else ""
+        budget = (
+            f"_b{int(memory_budget_bytes)}"
+            if memory_budget_bytes is not None
+            else ""
+        )
         name = (
-            f"plan_{platform.value}{mode}_f{fp:08x}_q{nq}_d{nf}_x{xcrc:08x}"
+            f"plan_{platform.value}{mode}_f{fp:08x}{prec}{budget}"
+            f"_q{nq}_d{nf}_x{xcrc:08x}"
             f"_p{self.probe_queries}_s{self.seed}.json"
         )
         return os.path.join(root, name)

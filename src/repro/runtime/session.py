@@ -190,7 +190,13 @@ class RuntimeSession:
             details["shard_seconds"] = [o.seconds for o in outputs]
 
         if self.verify_against_reference and plan.platform != CPU_PLATFORM:
-            ref = reference_predict(self.trees, X)
+            if plan.precision != "float32":
+                # Quantized plans moved the thresholds at build time, so
+                # the host trees are no longer the oracle; the layout's own
+                # reference traversal (same decoded float32 channel) is.
+                ref = layout.predict(X)
+            else:
+                ref = reference_predict(self.trees, X)
             if not np.array_equal(predictions, ref):
                 raise RuntimeError(
                     f"simulated kernel {plan.label} disagrees with the "

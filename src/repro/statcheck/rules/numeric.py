@@ -21,6 +21,15 @@ v2 rebased NUM001/NUM002 on the dtype-flow lattice
 Persisted ``.npz`` artifacts must carry per-array CRCs so the integrity
 layer (``repro.reliability.integrity``) can catch corruption before it
 skews a benchmark (NUM003, unchanged).
+
+**NUM004** guards the precision axis (:mod:`repro.layout.codec`):
+quantized code channels (int8/float16 thresholds, uint8 leaf-pool codes)
+decode through a *float32* expression, and the fastpath's
+dequantize-on-gather replays that exact expression for bit-identity.
+Mixing a quantized array into arithmetic or a comparison with a float64
+operand silently promotes the decode to float64 — different rounding,
+broken bit-identity — so the rule bans the pairing throughout
+``repro/layout`` and ``repro/fastpath``.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro.statcheck.lattices import (
     DtypeDomain,
     arr_codes,
     is_default_dtype,
+    is_f64_array,
 )
 from repro.statcheck.project import analysis_units
 
@@ -260,6 +270,65 @@ class Float64UpcastRule(Rule):
                     v = self._flag_call(ctx, analysis, call, env)
                     if v is not None:
                         yield v
+
+
+#: Array dtype codes a non-identity codec stores: int8 thresholds, float16
+#: thresholds, uint8 leaf-pool codes, int16 packed-record fields.
+QUANTIZED_ARR_CODES = frozenset({"i8", "u8", "i16", "f16"})
+
+#: Packages that build or gather quantized code channels.
+QUANTIZED_PACKAGES = ("repro/layout/", "repro/fastpath/")
+
+
+@register
+class QuantizedFloat64MixRule(Rule):
+    id = "NUM004"
+    summary = (
+        "quantized code arrays (int8/float16 channels) must not meet "
+        "float64 operands — decode is a float32 contract, and a float64 "
+        "promotion breaks build-time/gather-time bit-identity"
+    )
+    path_prefixes = QUANTIZED_PACKAGES
+
+    @staticmethod
+    def _operand_pairs(node: ast.AST):
+        if isinstance(node, ast.BinOp):
+            yield node.left, node.right
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            yield from zip(operands, operands[1:])
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for analysis in _analyses(ctx):
+            seen = set()
+            for stmt, env in _iter_stmt_envs(analysis):
+                for node in ast.walk(stmt):
+                    if not isinstance(node, (ast.BinOp, ast.Compare)):
+                        continue
+                    if id(node) in seen:
+                        continue
+                    seen.add(id(node))
+                    for a, b in self._operand_pairs(node):
+                        va = analysis.eval(a, dict(env))
+                        vb = analysis.eval(b, dict(env))
+                        quant = (arr_codes(va) | arr_codes(vb)) & QUANTIZED_ARR_CODES
+                        mixed = (
+                            arr_codes(va) & QUANTIZED_ARR_CODES
+                            and is_f64_array(vb)
+                        ) or (
+                            arr_codes(vb) & QUANTIZED_ARR_CODES
+                            and is_f64_array(va)
+                        )
+                        if mixed:
+                            yield ctx.violation(
+                                node,
+                                self.id,
+                                f"quantized {'/'.join(sorted(quant))} channel "
+                                "meets a float64 operand; dequantize through "
+                                "the codec's float32 expression instead "
+                                "(repro.layout.codec decode_thresholds)",
+                            )
+                            break
 
 
 @register

@@ -1,0 +1,31 @@
+"""Quantized code channels leaking into float64 arithmetic (banned).
+
+Every marked line promotes an int8/float16 code array through a float64
+operand, so the decode no longer matches the codec's canonical float32
+expression and the fastpath's gather-time replay loses bit-identity.
+"""
+
+import numpy as np
+
+
+def dequantize_with_f64_scale(raw_codes, n_features):
+    codes = raw_codes.astype(np.int8)
+    scale = np.linspace(0.5, 2.0, n_features)  # float64 by default
+    return codes * scale  # NUM004
+
+
+def shift_half_codes_by_double(raw_half):
+    half = raw_half.astype(np.float16)
+    return half + np.float64(0.5)  # NUM004
+
+
+def gate_codes_on_double_cutoff(raw_codes, n_features):
+    codes = raw_codes.astype(np.int8)
+    cutoff = np.linspace(-1.0, 1.0, n_features)
+    return codes >= cutoff  # NUM004
+
+
+def pool_index_times_double_pool(raw_leaf_code, n_entries):
+    leaf_code = raw_leaf_code.astype(np.uint8)
+    pool = np.linspace(0.0, 1.0, n_entries)
+    return leaf_code * pool  # NUM004

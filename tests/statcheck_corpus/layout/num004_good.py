@@ -1,0 +1,26 @@
+"""Dequantization held to the float32 contract (sanctioned style).
+
+Code arrays widen through ``.astype(np.float32)`` before touching any
+other operand, replaying the codec's canonical decode expression, so
+build-time round-trip and gather-time dequantization stay bit-identical.
+"""
+
+import numpy as np
+
+
+def dequantize_f32(raw_codes, raw_scale, raw_offset):
+    codes = raw_codes.astype(np.int8)
+    scale = raw_scale.astype(np.float32)
+    offset = raw_offset.astype(np.float32)
+    return codes.astype(np.float32) * scale + offset
+
+
+def widen_half_then_compare(raw_half, queries):
+    half = raw_half.astype(np.float16)
+    return half.astype(np.float32) >= queries.astype(np.float32)
+
+
+def pool_lookup_stays_f32(raw_leaf_code, raw_pool):
+    leaf_code = raw_leaf_code.astype(np.uint8)
+    pool = raw_pool.astype(np.float32)
+    return pool[leaf_code] + np.float32(0.0)

@@ -27,9 +27,11 @@ class TestCLI:
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "table2", "table3",
-            # Not paper artifacts: reliability / serving subsystems.
+            # Not paper artifacts: reliability / serving subsystems and
+            # the codec accuracy/footprint frontier.
             "fault-sweep",
             "serving-chaos",
+            "quantize-frontier",
         }
 
     def test_single_experiment_smoke(self, capsys):

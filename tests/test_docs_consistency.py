@@ -69,6 +69,7 @@ class TestReferencedArtifactsExist:
             # the reliability/serving overhead benches.
             "fault-sweep": "bench_reliability_overhead.py",
             "serving-chaos": "bench_serving_chaos.py",
+            "quantize-frontier": "bench_quantize_frontier.py",
         }
         assert set(mapping) == set(EXPERIMENTS)
         for bench in mapping.values():

@@ -78,6 +78,22 @@ class TestFig5:
         best = max(r["accuracy"] for r in rows)
         assert best > 0.7
 
+    def test_int8_within_half_point_of_float32(self):
+        """ISSUE acceptance: int8 within 0.5 pp of float32 per dataset."""
+        rows = fig5_accuracy.run("smoke")
+        f32 = {
+            (r["dataset"], r["depth"], r["n_trees"]): r["accuracy"]
+            for r in rows
+            if r["codec"] == "float32"
+        }
+        quant = [r for r in rows if r["codec"] != "float32"]
+        assert {r["dataset"] for r in quant} == set(fig5_accuracy.DATASETS)
+        for r in quant:
+            ref = f32[r["dataset"], r["depth"], r["n_trees"]]
+            delta_pp = abs(r["accuracy"] - ref) * 100.0
+            if r["codec"] in ("int8", "packed"):
+                assert delta_pp <= 0.5, (r, ref)
+
 
 class TestFig6:
     def test_shape(self):
@@ -86,6 +102,21 @@ class TestFig6:
         assert by_sd[4] < by_sd[6]  # padding grows with SD
         assert all(r["ratio"] > 0 for r in rows)
         assert "susy" in fig6_memory.render(rows)
+
+    def test_sd_ordering_holds_per_codec(self):
+        rows = fig6_memory.run("smoke", datasets=("susy",))
+        for codec in {r["codec"] for r in rows}:
+            by_sd = {r["sd"]: r["ratio"] for r in rows if r["codec"] == codec}
+            assert by_sd[4] < by_sd[6], codec
+
+    def test_packed_reaches_3x_reduction(self):
+        """ISSUE acceptance: >= 3x CSR footprint reduction for packed."""
+        rows = fig6_memory.run("smoke", datasets=("susy",))
+        by_codec = {r["codec"]: r for r in rows}
+        assert by_codec["float32"]["csr_reduction"] == 1.0
+        assert by_codec["packed"]["csr_reduction"] >= 3.0
+        assert by_codec["packed"]["hier_reduction"] > 1.0
+        assert by_codec["int8"]["csr_reduction"] > 1.0
 
 
 class TestFig7:

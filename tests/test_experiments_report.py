@@ -22,7 +22,7 @@ class TestReportBuild:
         for section in (
             "## Fig. 5", "## Fig. 6", "## Fig. 7", "## Fig. 8",
             "## Table 2", "## Table 3", "## Fig. 9", "## Fig. 10",
-            "## Secondary claims",
+            "## Quantization frontier", "## Secondary claims",
         ):
             assert section in text
 
@@ -35,4 +35,4 @@ class TestReportBuild:
 
     def test_measured_values_embedded(self):
         text = build("smoke")
-        assert text.count("**Measured:**") == 8
+        assert text.count("**Measured:**") == 9

@@ -342,3 +342,94 @@ class TestObsFastpathCounters:
         session = RuntimeSession(small_trees, observer=obs)
         session.run(_plan(Platform.GPU, KernelVariant.HYBRID, trace=TRACE_MODEL), queries)
         assert obs.registry.get("fastpath.launches") is None
+
+
+# ----------------------------------------------------------------------
+# Quantized layouts: dequantize-on-gather golden equivalence (ISSUE 10)
+# ----------------------------------------------------------------------
+QUANT_CODECS = ("float16", "int8", "packed")
+
+
+class TestQuantizedGolden:
+    """The gather-time decode must replay the build-time round-trip exactly."""
+
+    @pytest.mark.parametrize("codec", QUANT_CODECS)
+    @pytest.mark.parametrize("variant", ["hybrid", "csr"])
+    def test_fastpath_bit_identical_to_layout_and_trace(
+        self, session, queries, codec, variant
+    ):
+        fast = session.run(_plan("gpu", variant, precision=codec), queries)
+        model = session.run(
+            _plan("gpu", variant, trace=TRACE_MODEL, precision=codec), queries
+        )
+        layout = session.layout_for(compile_plan(
+            None, RunConfig(platform="gpu", variant=variant, precision=codec)
+        ))
+        assert np.array_equal(fast.predictions, model.predictions)
+        assert np.array_equal(fast.predictions, layout.predict(queries))
+
+    @pytest.mark.parametrize("codec", QUANT_CODECS)
+    def test_edge_table_really_dequantizes(self, small_trees, queries, codec):
+        """The table compares against gathered codes, not the f32 channel."""
+        from repro.fastpath.csrpath import build_edges
+
+        layout = CSRForest.from_trees(small_trees, codec=codec)
+        table = build_edges(layout)
+        assert table.codec == codec
+        assert table.qcodes is not None
+        if codec == "float16":
+            assert table.qcodes.dtype == np.float16
+            assert table.qscale is None
+        else:
+            assert table.qcodes.dtype == np.int8
+            assert table.qscale is not None
+            assert table.qoffset is not None
+
+    def test_float32_edge_table_unchanged(self, small_trees):
+        from repro.fastpath.csrpath import build_edges
+
+        table = build_edges(CSRForest.from_trees(small_trees))
+        assert table.codec == "float32"
+        assert table.qcodes is None and table.qscale is None
+
+    @pytest.mark.parametrize("codec", QUANT_CODECS)
+    def test_hier_families_share_the_quantized_table(
+        self, small_trees, queries, codec
+    ):
+        layout = HierarchicalForest.from_trees(
+            small_trees, LayoutParams(4, 8), codec=codec
+        )
+        preds, _ = fastpath_predict(layout, queries)
+        assert np.array_equal(preds, layout.predict(queries))
+
+    @pytest.mark.parametrize("codec", QUANT_CODECS)
+    def test_quantized_predictions_track_the_oracle(
+        self, session, queries, oracle, codec
+    ):
+        """Quantization moves thresholds, not semantics: high agreement."""
+        res = session.run(_plan("gpu", "hybrid", precision=codec), queries)
+        agreement = float(np.mean(res.predictions == oracle))
+        assert agreement >= 0.98
+
+    def test_seconds_charge_the_dequant_surcharge(self, session, queries):
+        from repro.fastpath import FASTPATH_DEQUANT_FACTOR
+
+        f32 = session.run(_plan("gpu", "hybrid"), queries)
+        i8 = session.run(_plan("gpu", "hybrid", precision="int8"), queries)
+        lane_levels = i8.details["lane_levels"]
+        assert i8.seconds == pytest.approx(
+            fastpath_seconds(lane_levels, precision="int8")
+        )
+        assert fastpath_seconds(10_000, "int8") > fastpath_seconds(10_000)
+        assert FASTPATH_DEQUANT_FACTOR["float32"] == 1.0
+        assert f32.seconds == pytest.approx(
+            fastpath_seconds(f32.details["lane_levels"])
+        )
+
+    @pytest.mark.parametrize("codec", QUANT_CODECS)
+    def test_quantized_label_round_trips(self, codec):
+        plan = _plan("gpu", "hybrid", precision=codec)
+        assert codec in plan.label
+        assert plan.label.endswith("serve")
+        again = ExecutionPlan.from_json(plan.to_json())
+        assert again.precision == codec

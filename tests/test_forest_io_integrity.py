@@ -1,16 +1,22 @@
-"""Forest cache format v3: checksums, clear corruption errors, back-compat."""
+"""Forest cache format v3/v4: checksums, corruption errors, migration."""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.forest.io import (
     _CHECKSUMMED,
+    _CHECKSUMMED_V4,
     _FORMAT_VERSION,
     ForestIntegrityError,
     load_forest,
     save_forest,
 )
+from repro.layout.codec import PRECISIONS
 from repro.utils.validation import array_crc32
+
+V3_FIXTURE = os.path.join(os.path.dirname(__file__), "data", "forest_v3.npz")
 
 
 @pytest.fixture()
@@ -21,7 +27,7 @@ def saved(tmp_path, trained_small):
     return path, clf
 
 
-class TestV3Format:
+class TestV4Format:
     def test_roundtrip(self, saved, trained_small):
         path, clf = saved
         _, _, _, Xte, _ = trained_small
@@ -32,12 +38,20 @@ class TestV3Format:
     def test_file_carries_version_and_checksums(self, saved):
         path, _ = saved
         with np.load(path) as data:
-            assert int(data["version"]) == _FORMAT_VERSION == 3
+            assert int(data["version"]) == _FORMAT_VERSION == 4
             crcs = data["array_checksums"]
             assert crcs.dtype == np.uint32
-            assert crcs.shape == (len(_CHECKSUMMED),)
-            for name, crc in zip(_CHECKSUMMED, crcs):
+            assert crcs.shape == (len(_CHECKSUMMED_V4),)
+            for name, crc in zip(_CHECKSUMMED_V4, crcs):
                 assert array_crc32(data[name]) == int(crc)
+
+    def test_float32_file_stores_raw_thresholds(self, saved, trained_small):
+        path, clf = saved
+        expected = np.concatenate([t.threshold for t in clf.trees_])
+        with np.load(path) as data:
+            assert str(data["codec"]) == "float32"
+            np.testing.assert_array_equal(data["threshold"], expected)
+            assert data["threshold_scale"].size == 0
 
 
 def _resave(path, mutate):
@@ -147,3 +161,98 @@ class TestBackCompat:
         FaultPlan(seed=8).corrupt_file(path, mode="flip", n_bytes=16)
         with pytest.raises((ForestIntegrityError,)):
             load_forest(path)
+
+
+class TestV4Migration:
+    """Satellite: codec round-trips, tamper rejection, v3 byte-for-byte."""
+
+    @pytest.mark.parametrize("codec", PRECISIONS)
+    def test_roundtrip_every_codec(self, tmp_path, trained_small, codec):
+        clf, _, _, Xte, _ = trained_small
+        path = str(tmp_path / f"forest_{codec}.npz")
+        save_forest(path, clf, codec=codec)
+        loaded = load_forest(path)
+        assert loaded.codec_ == codec
+        # Quantized thresholds move predictions on at most a sliver of rows.
+        agree = float(np.mean(loaded.predict(Xte) == clf.predict(Xte)))
+        assert agree >= 0.98
+
+    @pytest.mark.parametrize("codec", ("int8", "packed"))
+    def test_decode_is_stable_across_resave(self, tmp_path, trained_small, codec):
+        """decode(encode(x)) is a fixed point: saving a loaded forest
+        again must not drift the thresholds further."""
+        clf, *_ = trained_small
+        p1 = str(tmp_path / "a.npz")
+        p2 = str(tmp_path / "b.npz")
+        save_forest(p1, clf, codec=codec)
+        once = load_forest(p1)
+        save_forest(p2, once, codec="float32")
+        twice = load_forest(p2)
+        for ta, tb in zip(once.trees_, twice.trees_):
+            np.testing.assert_array_equal(ta.threshold, tb.threshold)
+
+    def test_quantized_file_stores_codes_and_calibration(
+        self, tmp_path, trained_small
+    ):
+        clf, *_ = trained_small
+        path = str(tmp_path / "forest.npz")
+        save_forest(path, clf, codec="int8")
+        with np.load(path) as data:
+            assert str(data["codec"]) == "int8"
+            assert data["threshold"].dtype == np.int8
+            assert data["threshold_scale"].shape == (clf.n_features_,)
+            assert data["threshold_offset"].dtype == np.float32
+            tags = [str(t) for t in data["array_codecs"]]
+            assert tags[_CHECKSUMMED_V4.index("threshold")] == "int8"
+
+    def test_tampered_calibration_rejected(self, tmp_path, trained_small):
+        clf, *_ = trained_small
+        path = str(tmp_path / "forest.npz")
+        save_forest(path, clf, codec="int8")
+
+        def stretch_scale(p):
+            p["threshold_scale"] = p["threshold_scale"] * np.float32(2.0)
+
+        _resave(path, stretch_scale)
+        with pytest.raises(ForestIntegrityError, match="threshold_scale"):
+            load_forest(path)
+
+    def test_codec_tag_mismatch_rejected(self, tmp_path, trained_small):
+        clf, *_ = trained_small
+        path = str(tmp_path / "forest.npz")
+        save_forest(path, clf, codec="float16")
+
+        def lie_about_codec(p):
+            p["codec"] = np.str_("int8")
+
+        _resave(path, lie_about_codec)
+        with pytest.raises(ForestIntegrityError, match="codec"):
+            load_forest(path)
+
+    def test_unknown_codec_name_rejected_on_save(self, tmp_path, trained_small):
+        clf, *_ = trained_small
+        with pytest.raises(ValueError, match="unknown codec"):
+            save_forest(str(tmp_path / "x.npz"), clf, codec="bf16")
+
+    def test_checked_in_v3_file_loads_byte_for_byte(self):
+        """The pre-codec fixture keeps loading with untouched arrays."""
+        loaded = load_forest(V3_FIXTURE)
+        assert loaded.codec_ == "float32"
+        with np.load(V3_FIXTURE) as data:
+            assert int(data["version"]) == 3
+            got_thr = np.concatenate([t.threshold for t in loaded.trees_])
+            np.testing.assert_array_equal(got_thr, data["threshold"])
+            got_feat = np.concatenate([t.feature for t in loaded.trees_])
+            np.testing.assert_array_equal(got_feat, data["feature"])
+            got_val = np.concatenate([t.value for t in loaded.trees_])
+            np.testing.assert_array_equal(got_val, data["value"])
+
+    def test_checked_in_v3_predictions_pinned(self):
+        loaded = load_forest(V3_FIXTURE)
+        rng = np.random.default_rng(13)
+        X = rng.uniform(-2.0, 2.0, size=(32, loaded.n_features_)).astype(
+            np.float32
+        )
+        digest = array_crc32(loaded.predict(X).astype(np.int64))
+        with np.load(V3_FIXTURE) as data:
+            assert digest == int(data["prediction_crc"])

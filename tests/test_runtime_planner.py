@@ -202,3 +202,99 @@ class TestFingerprints:
         assert default_plan_cache_dir() == str(tmp_path)
         monkeypatch.delenv("REPRO_PLAN_CACHE_DIR")
         assert default_plan_cache_dir().endswith(os.path.join("results", "plan_cache"))
+
+
+class TestPrecisionBudget:
+    """The precision axis through the planner (ISSUE 10)."""
+
+    def test_budget_widens_candidates_to_every_codec(self, workload, tmp_path):
+        forest, _ = workload
+        planner = make_planner(forest, tmp_path)
+        base = planner.candidates(Platform.GPU)
+        widened = planner.candidates(
+            Platform.GPU, precisions=("float32", "float16", "int8", "packed")
+        )
+        assert {p.precision for p in base} == {"float32"}
+        assert len(widened) == 4 * len(base)
+        assert {p.precision for p in widened} == {
+            "float32", "float16", "int8", "packed"
+        }
+
+    def test_auto_under_tight_budget_selects_quantized(self, workload, tmp_path):
+        """Acceptance: variant="auto" + memory budget -> quantized layout."""
+        from repro.runtime.cost import plan_footprint_bytes
+
+        forest, X = workload
+        planner = make_planner(forest, tmp_path)
+        f32 = planner.autotune(X)
+        f32_bytes = planner._footprint(f32)
+        budget = f32_bytes // 2  # float32 layouts cannot fit
+        cfg = RunConfig(variant=KernelVariant.AUTO, memory_budget_bytes=budget)
+        plan = planner.plan(X, cfg)
+        assert plan.precision != "float32"
+        assert planner._footprint(plan) <= budget
+
+    def test_loose_budget_keeps_float32_competitive(self, workload, tmp_path):
+        forest, X = workload
+        planner = make_planner(forest, tmp_path)
+        cfg = RunConfig(
+            variant=KernelVariant.AUTO, memory_budget_bytes=1 << 40
+        )
+        plan = planner.plan(X, cfg)
+        assert planner._footprint(plan) <= 1 << 40
+
+    def test_impossible_budget_falls_back_to_smallest(self, workload, tmp_path):
+        forest, X = workload
+        planner = make_planner(forest, tmp_path)
+        cfg = RunConfig(variant=KernelVariant.AUTO, memory_budget_bytes=1)
+        plan = planner.plan(X, cfg)  # least-bad answer, never a refusal
+        assert plan.precision == "packed"
+
+    def test_cache_filename_separates_precision_and_budget(
+        self, workload, tmp_path
+    ):
+        forest, X = workload
+        planner = make_planner(forest, tmp_path)
+        default = planner._cache_path(X, Platform.GPU)
+        pinned = planner._cache_path(X, Platform.GPU, precision="int8")
+        budgeted = planner._cache_path(
+            X, Platform.GPU, memory_budget_bytes=4096
+        )
+        assert len({default, pinned, budgeted}) == 3
+        assert "_int8_" in os.path.basename(pinned)
+        assert "_b4096_" in os.path.basename(budgeted)
+        # The default combination keeps the historical filename shape.
+        assert os.path.basename(default).startswith("plan_gpu_f")
+
+    def test_budgeted_decision_replays_from_cache(self, workload, tmp_path):
+        forest, X = workload
+        planner = make_planner(forest, tmp_path)
+        cfg = RunConfig(variant=KernelVariant.AUTO, memory_budget_bytes=1 << 14)
+        first = planner.plan(X, cfg)
+        probes = planner.stats["probe_runs"]
+        second = planner.plan(X, cfg)
+        assert planner.stats["cache_hits"] == 1
+        assert planner.stats["probe_runs"] == probes
+        assert second.precision == first.precision
+        assert second.to_run_config().precision == first.precision
+
+    def test_quantized_plan_runs_end_to_end(self, workload, tmp_path):
+        forest, X = workload
+        planner = make_planner(forest, tmp_path)
+        cfg = RunConfig(variant=KernelVariant.AUTO, memory_budget_bytes=1 << 14)
+        plan = planner.plan(X, cfg)
+        res = planner.session.run(plan, X)
+        layout = planner.session.layout_for(plan)
+        assert np.array_equal(res.predictions, layout.predict(X))
+
+    def test_config_rejects_bad_precision_and_budget(self):
+        with pytest.raises(ValueError, match="precision"):
+            RunConfig(precision="bf16")
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            RunConfig(memory_budget_bytes=0)
+        with pytest.raises(ValueError, match="cuML"):
+            RunConfig(variant=KernelVariant.CUML, precision="int8")
+
+    def test_plan_rejects_cuml_quantized(self):
+        with pytest.raises(PlanError, match="cuML"):
+            ExecutionPlan(variant="cuml", precision="int8")
